@@ -1,0 +1,103 @@
+// Command cnnsim runs the paper's CNN training case study (Section V
+// and Section VII-A-1): DenseNet 264 / ResNet 200 / Inception v4
+// training iterations under the 2LM DRAM cache and under
+// software-managed tensor movement (AutoTM).
+//
+// Usage:
+//
+//	cnnsim [-scale N] [-experiment all|fig5|fig6|fig10|table2] [-csv dir]
+//
+// With -csv, the per-kernel bandwidth/tag traces (Figures 5 and 10)
+// are written as CSV files into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"twolm/internal/experiments"
+)
+
+func main() {
+	scale := flag.Uint64("scale", 1024, "footprint scale divisor (power of two)")
+	which := flag.String("experiment", "all", "experiment: all, fig5, fig6, fig10, table2")
+	csvDir := flag.String("csv", "", "directory to write trace CSVs into")
+	flag.Parse()
+
+	cfg := experiments.DefaultCNNConfig()
+	cfg.Scale = *scale
+
+	if err := run(cfg, *which, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "cnnsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.CNNConfig, which, csvDir string) error {
+	all := which == "all"
+	if all || which == "fig5" {
+		res, err := experiments.Fig5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Summary.String())
+		fmt.Println(res.Heatmap.String())
+		fmt.Println(res.Liveness.String())
+		if err := writeSeriesCSV(csvDir, "fig5_trace.csv", res); err != nil {
+			return err
+		}
+	}
+	if all || which == "fig6" {
+		table, err := experiments.Fig6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.String())
+	}
+	if all || which == "fig10" {
+		res, err := experiments.Fig10(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.PhaseTable.String())
+		if csvDir != "" {
+			f, err := os.Create(filepath.Join(csvDir, "fig10_trace.csv"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := res.Trace.WriteCSV(f); err != nil {
+				return err
+			}
+		}
+	}
+	if all || which == "table2" {
+		table, _, err := experiments.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.String())
+	}
+	if !all {
+		switch which {
+		case "fig5", "fig6", "fig10", "table2":
+		default:
+			return fmt.Errorf("unknown experiment %q", which)
+		}
+	}
+	return nil
+}
+
+func writeSeriesCSV(dir, name string, res *experiments.Fig5Result) error {
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return res.Trace.WriteCSV(f)
+}

@@ -1,0 +1,80 @@
+// Command graphsim runs the paper's graph analytics case study
+// (Section VI and Section VII-A-2): bfs, connected components, k-core
+// and pagerank-push over Kronecker and web-crawl-shaped inputs, in
+// 2LM, NUMA-baseline and Sage-style placements.
+//
+// Usage:
+//
+//	graphsim [-scale N] [-small-scale N] [-large-scale N] [-pr-rounds N] [-csv dir]
+//
+// All of Figures 7, 8, 9 and the Sage comparison come from one study
+// pass. With -csv, the pagerank traces (Figure 9) are written as CSVs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"twolm/internal/experiments"
+	"twolm/internal/perfcounter"
+)
+
+func main() {
+	scale := flag.Uint64("scale", 4096, "platform footprint scale divisor (power of two)")
+	smallScale := flag.Int("small-scale", 18, "log2 nodes of the fits-in-cache Kronecker graph")
+	largeScale := flag.Int("large-scale", 21, "log2 nodes of the exceeds-cache web-like graph")
+	prRounds := flag.Int("pr-rounds", 5, "pagerank-push rounds")
+	csvDir := flag.String("csv", "", "directory to write Figure 9 trace CSVs into")
+	flag.Parse()
+
+	cfg := experiments.DefaultGraphConfig()
+	cfg.Scale = *scale
+	cfg.SmallScale = *smallScale
+	cfg.LargeScale = *largeScale
+	cfg.PRRounds = *prRounds
+
+	if err := run(cfg, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "graphsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.GraphConfig, csvDir string) error {
+	study, err := experiments.RunGraphStudy(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("inputs: %s (%d nodes, %d edges, %.1f MB) and %s (%d nodes, %d edges, %.1f MB)\n\n",
+		study.Small.Name, study.Small.NumNodes(), study.Small.NumEdges(), float64(study.Small.Bytes())/1e6,
+		study.Large.Name, study.Large.NumNodes(), study.Large.NumEdges(), float64(study.Large.Bytes())/1e6)
+	fmt.Println(study.Fig7().String())
+	fmt.Println(study.Fig8().String())
+	fmt.Println(study.Fig9().String())
+	fmt.Println(study.SageTable().String())
+
+	if csvDir != "" {
+		small, large := study.Fig9Traces()
+		if small != nil {
+			if err := writeCSV(filepath.Join(csvDir, "fig9a_"+study.Small.Name+".csv"), small); err != nil {
+				return err
+			}
+		}
+		if large != nil {
+			if err := writeCSV(filepath.Join(csvDir, "fig9b_"+study.Large.Name+".csv"), large); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(path string, series *perfcounter.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return series.WriteCSV(f)
+}

@@ -1,0 +1,97 @@
+// Command nvbench runs the microbenchmark study of the paper: the 1LM
+// NVRAM bandwidth sweeps (Figure 2), the 2LM per-access transaction
+// counts (Table I), and the 2LM miss-regime bandwidth panels
+// (Figure 4).
+//
+// Usage:
+//
+//	nvbench [-scale N] [-experiment all|fig2a|fig2b|table1|fig4a|fig4b|fig4c]
+//
+// Results are printed as aligned text tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twolm/internal/experiments"
+	"twolm/internal/results"
+)
+
+func main() {
+	scale := flag.Uint64("scale", 1024, "footprint scale divisor (power of two)")
+	which := flag.String("experiment", "all", "experiment to run: all, fig2a, fig2b, table1, fig4a, fig4b, fig4c")
+	flag.Parse()
+
+	cfg := experiments.DefaultMicroConfig()
+	cfg.Scale = *scale
+
+	if err := run(cfg, *which); err != nil {
+		fmt.Fprintln(os.Stderr, "nvbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.MicroConfig, which string) error {
+	show := func(t *results.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.String())
+		return nil
+	}
+	// Figure 4 panels additionally render as bar charts, the way the
+	// paper plots them.
+	showRows := func(t *results.Table, rows []experiments.Fig4Row, err error) error {
+		if err := show(t, err); err != nil {
+			return err
+		}
+		chart := results.NewBarChart("effective bandwidth by access mode", "GB/s")
+		for _, r := range rows {
+			chart.Add(r.Mode, r.Effective)
+		}
+		fmt.Println(chart.String())
+		return nil
+	}
+
+	all := which == "all"
+	if all || which == "fig2a" {
+		if err := show(experiments.Fig2a(cfg)); err != nil {
+			return err
+		}
+	}
+	if all || which == "fig2b" {
+		if err := show(experiments.Fig2b(cfg)); err != nil {
+			return err
+		}
+	}
+	if all || which == "table1" {
+		if err := show(experiments.Table1(cfg)); err != nil {
+			return err
+		}
+	}
+	if all || which == "fig4a" {
+		if err := showRows(experiments.Fig4a(cfg)); err != nil {
+			return err
+		}
+	}
+	if all || which == "fig4b" {
+		if err := showRows(experiments.Fig4b(cfg)); err != nil {
+			return err
+		}
+	}
+	if all || which == "fig4c" {
+		if err := showRows(experiments.Fig4c(cfg)); err != nil {
+			return err
+		}
+	}
+	if !all {
+		switch which {
+		case "fig2a", "fig2b", "table1", "fig4a", "fig4b", "fig4c":
+		default:
+			return fmt.Errorf("unknown experiment %q", which)
+		}
+	}
+	return nil
+}

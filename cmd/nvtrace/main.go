@@ -1,0 +1,168 @@
+// Command nvtrace records and replays demand-access traces, the
+// workflow behind the paper's deterministic rerun methodology: capture
+// a workload's operation stream once, then replay it against
+// differently configured memory systems for exact apples-to-apples
+// counter comparisons.
+//
+// Record a microbenchmark trace:
+//
+//	nvtrace -record trace.bin -op rmw -pattern seq -size 420GB-equivalent...
+//	nvtrace -record trace.bin -op rmw -array-mb 384
+//
+// Replay it against configurations:
+//
+//	nvtrace -replay trace.bin                 # hardware 2LM
+//	nvtrace -replay trace.bin -mode 1lm       # app-direct
+//	nvtrace -replay trace.bin -no-ddo         # DDO ablation
+//	nvtrace -replay trace.bin -ways 4         # associativity ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twolm/internal/core"
+	"twolm/internal/imc"
+	"twolm/internal/kernels"
+	"twolm/internal/mem"
+	"twolm/internal/platform"
+	"twolm/internal/trace"
+)
+
+func main() {
+	record := flag.String("record", "", "record a kernel trace to this file")
+	replay := flag.String("replay", "", "replay a trace from this file")
+	op := flag.String("op", "read", "kernel for -record: read, write, rmw")
+	pattern := flag.String("pattern", "seq", "iteration order for -record: seq, rand")
+	nt := flag.Bool("nt", false, "use nontemporal stores for -record")
+	arrayMB := flag.Uint64("array-mb", 384, "array size in MiB for -record")
+	threads := flag.Int("threads", 24, "modeled thread count")
+	scale := flag.Uint64("scale", 1024, "platform footprint scale divisor")
+	mode := flag.String("mode", "2lm", "replay mode: 2lm, 1lm")
+	noDDO := flag.Bool("no-ddo", false, "replay with the Dirty Data Optimization disabled")
+	ways := flag.Int("ways", 1, "replay DRAM-cache associativity")
+	writeAround := flag.Bool("write-around", false, "replay without write-miss allocation")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *record != "" && *replay != "":
+		err = fmt.Errorf("choose one of -record or -replay")
+	case *record != "":
+		err = doRecord(*record, *op, *pattern, *nt, *arrayMB, *threads, *scale)
+	case *replay != "":
+		err = doReplay(*replay, *mode, *scale, *threads, *noDDO, *ways, *writeAround)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvtrace:", err)
+		os.Exit(1)
+	}
+}
+
+// newSystem builds the configured platform.
+func newSystem(mode string, scale uint64, threads int, noDDO bool, ways int, writeAround bool) (*core.System, error) {
+	cfg := core.Config{Platform: platform.CascadeLake(1, scale, threads)}
+	switch mode {
+	case "2lm":
+		cfg.Mode = core.Mode2LM
+		policy := imc.HardwarePolicy()
+		policy.DisableDDO = noDDO
+		policy.Ways = ways
+		policy.WriteAllocate = !writeAround
+		cfg.Policy = &policy
+	case "1lm":
+		cfg.Mode = core.Mode1LM
+	default:
+		return nil, fmt.Errorf("unknown mode %q", mode)
+	}
+	return core.New(cfg)
+}
+
+func doRecord(path, op, pattern string, nt bool, arrayMB uint64, threads int, scale uint64) error {
+	sys, err := newSystem("2lm", scale, threads, false, 1, false)
+	if err != nil {
+		return err
+	}
+	region, err := sys.AddressSpace().Alloc(arrayMB * mem.MiB)
+	if err != nil {
+		return err
+	}
+
+	spec := kernels.Spec{Threads: threads}
+	switch op {
+	case "read":
+		spec.Op = kernels.ReadOnly
+	case "write":
+		spec.Op = kernels.WriteOnly
+	case "rmw":
+		spec.Op = kernels.ReadModifyWrite
+	default:
+		return fmt.Errorf("unknown op %q", op)
+	}
+	switch pattern {
+	case "seq":
+		spec.Pattern = mem.Sequential
+	case "rand":
+		spec.Pattern = mem.Random
+	default:
+		return fmt.Errorf("unknown pattern %q", pattern)
+	}
+	if nt {
+		spec.Store = kernels.Nontemporal
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := trace.NewWriter(f)
+	w.Attach(sys)
+	res, err := kernels.Run(sys, region, spec)
+	trace.Detach(sys)
+	if err != nil {
+		return err
+	}
+	w.Sync(spec.Name(), 0)
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d operations (%s) to %s\n", w.Ops(), spec.Name(), path)
+	fmt.Printf("while recording: %s\n", res.Delta)
+	return nil
+}
+
+func doReplay(path, mode string, scale uint64, threads int, noDDO bool, ways int, writeAround bool) error {
+	sys, err := newSystem(mode, scale, threads, noDDO, ways, writeAround)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	sys.SetThreads(threads)
+	ops, err := trace.Replay(sys, f)
+	if err != nil {
+		return err
+	}
+	sys.DrainLLC()
+	sys.Sync("drain", 0)
+	if err := sys.ValidateCounters(); err != nil {
+		return err
+	}
+
+	ctr := sys.Counters()
+	fmt.Printf("replayed %d operations on %s\n", ops, sys)
+	fmt.Printf("counters:      %s\n", ctr)
+	fmt.Printf("amplification: %.2f\n", ctr.Amplification())
+	fmt.Printf("hit rate:      %.3f\n", ctr.HitRate())
+	fmt.Printf("elapsed:       %.6f s (model)\n", sys.Clock())
+	return nil
+}

@@ -1,0 +1,96 @@
+// Graph analytics over NVRAM, three ways: pagerank-push on a web-scale
+// (scaled-down) graph in 2LM memory mode, in app-direct mode with
+// NUMA-preferred allocation, and with Sage-style semi-asymmetric
+// placement — the paper's Section VI / VII-A-2 comparison as a program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twolm/internal/analytics"
+	"twolm/internal/core"
+	"twolm/internal/graph"
+	"twolm/internal/mem"
+	"twolm/internal/platform"
+	"twolm/internal/sage"
+)
+
+func main() {
+	const (
+		platScale = 8192 // two sockets: DRAM cache becomes 48 MiB
+		prRounds  = 4
+	)
+
+	fmt.Println("generating a web-crawl-shaped graph exceeding the DRAM cache...")
+	g, err := graph.WebLike(20, 14, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d nodes, %d edges, CSR %s\n\n",
+		g.Name, g.NumNodes(), g.NumEdges(), mem.FormatBytes(g.Bytes()))
+
+	base := analytics.Config{Threads: 96, PRRounds: prRounds}
+
+	newSys := func(mode core.Mode) *core.System {
+		sys, err := core.New(core.Config{Platform: platform.CascadeLake(2, platScale, 96), Mode: mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sys
+	}
+	report := func(name string, res analytics.Result) {
+		d := res.Delta
+		fmt.Printf("%-22s %8.2f s  DRAM %6.1f GB/s  NVRAM r/w %5.1f/%4.1f GB/s  dirty misses %d\n",
+			name, res.Elapsed*platScale,
+			float64((d.DRAMRead+d.DRAMWrite)*mem.Line)/res.Elapsed/mem.GB,
+			float64(d.NVRAMRead*mem.Line)/res.Elapsed/mem.GB,
+			float64(d.NVRAMWrite*mem.Line)/res.Elapsed/mem.GB,
+			d.TagMissDirty)
+	}
+
+	// 1. Hardware-managed 2LM.
+	sys := newSys(core.Mode2LM)
+	layout, err := g.Place(sys.AddressSpace().Alloc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := base
+	cfg.Sys, cfg.G, cfg.Layout, cfg.AllocProp = sys, g, layout, sys.AddressSpace().Alloc
+	r2lm, err := analytics.PageRank(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("2LM (memory mode):", r2lm)
+
+	// 2. App-direct, NUMA-preferred allocation (DRAM first, spill to
+	// NVRAM) — the kernel's default policy.
+	sys = newSys(core.Mode1LM)
+	layout, err = g.Place(sys.AddressSpace().Alloc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg = base
+	cfg.Sys, cfg.G, cfg.Layout, cfg.AllocProp = sys, g, layout, sys.AddressSpace().Alloc
+	rnuma, err := analytics.PageRank(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("1LM (NUMA-preferred):", rnuma)
+
+	// 3. Sage-style: graph read-only in NVRAM, mutable state in DRAM.
+	session, err := sage.New(newSys(core.Mode1LM), g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rsage, err := session.PageRank(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("Sage (semi-asymmetric):", rsage)
+
+	fmt.Printf("\nSage vs 2LM speedup: %.2fx, with %d NVRAM writes instead of %d\n",
+		r2lm.Elapsed/rsage.Elapsed, rsage.Delta.NVRAMWrite, r2lm.Delta.NVRAMWrite)
+	fmt.Println("Keeping mutation out of NVRAM sidesteps both the device's low write")
+	fmt.Println("bandwidth and the 2LM cache's 4-5x dirty-miss amplification.")
+}

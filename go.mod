@@ -1,0 +1,3 @@
+module twolm
+
+go 1.22

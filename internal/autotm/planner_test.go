@@ -1,0 +1,213 @@
+package autotm
+
+import (
+	"testing"
+
+	"twolm/internal/compiler"
+	"twolm/internal/core"
+	"twolm/internal/mem"
+	"twolm/internal/nn"
+)
+
+// TestGreedyFeasible: the greedy plan satisfies every kernel budget.
+func TestGreedyFeasible(t *testing.T) {
+	plan := buildPlan(t, 64)
+	budget := plan.HeapSize / 3
+	sp, err := SolveGreedy(plan, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak := sp.PeakResident(); peak > budget {
+		t.Errorf("greedy plan peaks at %d bytes, budget %d", peak, budget)
+	}
+	if sp.StashedBytes() == 0 {
+		t.Error("a third of the footprint should force stashing")
+	}
+	if sp.MoveCost <= 0 {
+		t.Error("stashing without cost")
+	}
+}
+
+// TestGreedyNoPressureNoStash: with a generous budget nothing moves.
+func TestGreedyNoPressureNoStash(t *testing.T) {
+	plan := buildPlan(t, 8)
+	sp, err := SolveGreedy(plan, 4*plan.HeapSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.StashedBytes() != 0 || sp.MoveCost != 0 {
+		t.Errorf("unnecessary stashing: %d bytes, cost %f", sp.StashedBytes(), sp.MoveCost)
+	}
+}
+
+// TestGreedyImpossibleBudget: budgets below the per-kernel working set
+// are rejected.
+func TestGreedyImpossibleBudget(t *testing.T) {
+	plan := buildPlan(t, 64)
+	if _, err := SolveGreedy(plan, mem.Line); err == nil {
+		t.Error("impossible budget accepted")
+	}
+}
+
+// TestExactNoWorseThanGreedy: the branch-and-bound cost never exceeds
+// its greedy incumbent, and both are feasible.
+func TestExactNoWorseThanGreedy(t *testing.T) {
+	plan := buildPlan(t, 48)
+	budget := plan.HeapSize / 3
+	greedy, err := SolveGreedy(plan, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := SolveExact(plan, budget, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.MoveCost > greedy.MoveCost+1e-12 {
+		t.Errorf("exact cost %.6g above greedy %.6g", exact.MoveCost, greedy.MoveCost)
+	}
+	if peak := exact.PeakResident(); peak > budget {
+		t.Errorf("exact plan infeasible: peak %d > budget %d", peak, budget)
+	}
+}
+
+// TestExactOptimalOnTinyInstance: brute-force verification on a
+// hand-built program small enough to enumerate.
+func TestExactOptimalOnTinyInstance(t *testing.T) {
+	// Three chained layers: activations a, b, c; a is also re-read at
+	// the end (long live range), so stashing a is the cheap relief.
+	b := nn.NewBuilder("tiny", 16)
+	x := b.Input(8, 8, 8)
+	y := b.Conv(x, 3, 1, 1, 8)
+	y = b.BatchNorm(y)
+	y = b.ReLU(y)
+	y = b.GlobalAvgPool(y)
+	logits := b.FC(y, 4)
+	prog, err := b.Train(logits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := compiler.Compile(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget: force at least one stash.
+	peakAll := uint64(0)
+	for k := range prog.Kernels {
+		if l := plan.LiveBytesAt(k) + prog.WeightBytes(); l > peakAll {
+			peakAll = l
+		}
+	}
+	budget := peakAll * 9 / 10
+	exact, err := SolveExact(plan, budget, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Optimal {
+		t.Fatal("tiny instance did not finish the exact search")
+	}
+	// Brute force over all candidate subsets.
+	p := newStashProblem(plan, budget)
+	n := len(p.candidates)
+	if n > 16 {
+		t.Skipf("instance too large to brute force: %d candidates", n)
+	}
+	best := -1.0
+	for mask := 0; mask < 1<<n; mask++ {
+		set := map[int]bool{}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				set[p.candidates[i]] = true
+			}
+		}
+		if _, ok := p.feasible(set); !ok {
+			continue
+		}
+		c := p.totalCost(set)
+		if best < 0 || c < best {
+			best = c
+		}
+	}
+	if best < 0 {
+		t.Fatal("no feasible subset found by brute force")
+	}
+	if diff := exact.MoveCost - best; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("exact cost %.6g != brute-force optimum %.6g", exact.MoveCost, best)
+	}
+}
+
+// TestExecuteStaticRunsAndFits: the offline plan executes with bounded
+// residency and produces the stash/restore traffic it planned.
+func TestExecuteStaticRunsAndFits(t *testing.T) {
+	plan := buildPlan(t, 64)
+	budget := mem.AlignUp(plan.HeapSize/3, mem.Line)
+	sp, err := SolveGreedy(plan, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newSystem(t, core.Mode1LM, mem.AlignUp(budget/5, mem.Line))
+	res, err := ExecuteStatic(plan, sys, sp, Config{DRAMBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 || res.Counters.Demand() == 0 {
+		t.Error("no execution happened")
+	}
+	if sp.StashedBytes() > 0 && (res.MoveOutBytes == 0 || res.MoveInBytes == 0) {
+		t.Errorf("planned stashes produced no movement: out=%d in=%d", res.MoveOutBytes, res.MoveInBytes)
+	}
+	// Dead-data elision carries over: writes never exceed reads by
+	// more than the final unstashed set.
+	if res.Counters.NVRAMWrite > res.Counters.NVRAMRead+res.Counters.NVRAMWrite/5 {
+		t.Errorf("static execution wrote dead data: %v", res.Counters)
+	}
+}
+
+// TestExecuteStaticRejectsMismatchedPlan and undersized budgets.
+func TestExecuteStaticRejects(t *testing.T) {
+	plan := buildPlan(t, 16)
+	other := buildPlan(t, 16)
+	sp, err := SolveGreedy(plan, plan.HeapSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newSystem(t, core.Mode1LM, mem.MiB)
+	if _, err := ExecuteStatic(other, sys, sp, Config{}); err == nil {
+		t.Error("mismatched plan accepted")
+	}
+	if _, err := ExecuteStatic(plan, sys, sp, Config{DRAMBudget: mem.Line}); err == nil {
+		t.Error("undersized budget accepted")
+	}
+	sys2 := newSystem(t, core.Mode2LM, mem.MiB)
+	if _, err := ExecuteStatic(plan, sys2, sp, Config{}); err == nil {
+		t.Error("2LM system accepted")
+	}
+}
+
+// TestOnlineVsOfflineComparable: both policies complete the same
+// program under the same budget with traffic in the same ballpark.
+func TestOnlineVsOfflineComparable(t *testing.T) {
+	plan := buildPlan(t, 64)
+	budget := mem.AlignUp(plan.HeapSize/3, mem.Line)
+
+	onlineSys := newSystem(t, core.Mode1LM, mem.AlignUp(budget/5, mem.Line))
+	online, err := Execute(plan, onlineSys, Config{DRAMBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SolveGreedy(plan, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offlineSys := newSystem(t, core.Mode1LM, mem.AlignUp(budget/5, mem.Line))
+	offline, err := ExecuteStatic(plan, offlineSys, sp, Config{DRAMBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if online.Elapsed <= 0 || offline.Elapsed <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	ratio := offline.Elapsed / online.Elapsed
+	if ratio > 3 || ratio < 1.0/3 {
+		t.Errorf("offline/online runtime ratio %.2f outside sanity band", ratio)
+	}
+}

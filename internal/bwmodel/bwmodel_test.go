@@ -1,0 +1,208 @@
+package bwmodel
+
+import (
+	"testing"
+
+	"twolm/internal/mem"
+)
+
+// TestNVRAMReadSaturation checks the paper's Figure 2a anchors:
+// sequential read bandwidth scales with threads and saturates near
+// 30 GB/s by 8 threads.
+func TestNVRAMReadSaturation(t *testing.T) {
+	p := OptaneDC512()
+	bw8 := p.ReadBW(mem.Sequential, mem.Line, 8)
+	bw24 := p.ReadBW(mem.Sequential, mem.Line, 24)
+	if bw8 < 28*mem.GB || bw8 > 32*mem.GB {
+		t.Errorf("sequential read @8 threads = %.1f GB/s, want ~30", bw8/mem.GB)
+	}
+	if bw24 != bw8 {
+		t.Errorf("read bandwidth should be flat past saturation: %.1f vs %.1f", bw24/mem.GB, bw8/mem.GB)
+	}
+	// Below saturation, scaling should be roughly linear.
+	bw1 := p.ReadBW(mem.Sequential, mem.Line, 1)
+	bw2 := p.ReadBW(mem.Sequential, mem.Line, 2)
+	if bw2 < 1.9*bw1 {
+		t.Errorf("2-thread read %.1f not ~2x 1-thread %.1f", bw2/mem.GB, bw1/mem.GB)
+	}
+}
+
+// TestNVRAMWritePeak checks the Figure 2b anchors: write bandwidth
+// peaks near 4 threads around 11 GB/s and declines slightly beyond.
+func TestNVRAMWritePeak(t *testing.T) {
+	p := OptaneDC512()
+	bw4 := p.WriteBW(mem.Sequential, mem.Line, 4)
+	bw24 := p.WriteBW(mem.Sequential, mem.Line, 24)
+	if bw4 < 9*mem.GB || bw4 > 12*mem.GB {
+		t.Errorf("sequential NT write @4 threads = %.1f GB/s, want ~10.6", bw4/mem.GB)
+	}
+	if bw24 >= bw4 {
+		t.Errorf("write bandwidth should decline past 4 threads: %.2f !< %.2f", bw24/mem.GB, bw4/mem.GB)
+	}
+	if bw24 < 0.75*bw4 {
+		t.Errorf("write decline too steep: %.2f vs peak %.2f", bw24/mem.GB, bw4/mem.GB)
+	}
+}
+
+// TestWriteGranularityCliff: random 64 B writes cannot merge into 256 B
+// media blocks and lose ~4x bandwidth; >=256 B granularity is fine.
+func TestWriteGranularityCliff(t *testing.T) {
+	p := OptaneDC512()
+	small := p.WriteBW(mem.Random, 64, 4)
+	big := p.WriteBW(mem.Random, 256, 4)
+	if ratio := big / small; ratio < 3 || ratio > 5 {
+		t.Errorf("random 256B/64B write ratio = %.2f, want ~4 (media amplification)", ratio)
+	}
+	// Sequential 64 B streams merge and should be near peak.
+	seq := p.WriteBW(mem.Sequential, 64, 4)
+	if seq < 0.85*p.PeakWriteBW {
+		t.Errorf("sequential 64B writes should merge: %.1f GB/s", seq/mem.GB)
+	}
+}
+
+// TestReadGranularityMonotonic: larger random granularity never hurts.
+func TestReadGranularityMonotonic(t *testing.T) {
+	p := OptaneDC512()
+	prev := 0.0
+	for _, g := range []int{64, 128, 256, 512} {
+		bw := p.ReadBW(mem.Random, g, 24)
+		if bw < prev {
+			t.Errorf("random read bandwidth not monotonic in granularity at %dB: %.2f < %.2f", g, bw/mem.GB, prev/mem.GB)
+		}
+		prev = bw
+	}
+}
+
+// TestInterleavedSeqBetween: the 2LM miss stream should fall between
+// random and pure sequential performance.
+func TestInterleavedSeqBetween(t *testing.T) {
+	p := OptaneDC512()
+	seq := p.ReadBW(mem.Sequential, 64, 24)
+	il := p.ReadBW(mem.InterleavedSeq, 64, 24)
+	rnd := p.ReadBW(mem.Random, 64, 24)
+	if !(rnd < il && il < seq) {
+		t.Errorf("want random (%.1f) < interleaved (%.1f) < sequential (%.1f)", rnd/mem.GB, il/mem.GB, seq/mem.GB)
+	}
+	// The paper's 2LM ceiling: ~23 GB/s read (~75% of 30 GB/s).
+	if il < 21*mem.GB || il > 25*mem.GB {
+		t.Errorf("interleaved-seq NVRAM read = %.1f GB/s, want ~23", il/mem.GB)
+	}
+}
+
+// Test2LMWriteCeiling: the paper's best 2LM write is ~8 GB/s (72% of
+// the 11 GB/s device peak).
+func Test2LMWriteCeiling(t *testing.T) {
+	p := OptaneDC512()
+	il := p.WriteBW(mem.InterleavedSeq, 64, 24)
+	if il < 7*mem.GB || il > 9*mem.GB {
+		t.Errorf("interleaved-seq NVRAM write = %.1f GB/s, want ~8", il/mem.GB)
+	}
+}
+
+func TestDRAMFasterThanNVRAM(t *testing.T) {
+	d, n := CascadeLakeDRAM(), OptaneDC512()
+	for _, pat := range []mem.Pattern{mem.Sequential, mem.Random} {
+		for _, th := range []int{1, 4, 24} {
+			if d.ReadBW(pat, 64, th) <= n.ReadBW(pat, 64, th) {
+				t.Errorf("DRAM read not faster than NVRAM (%v, %d threads)", pat, th)
+			}
+			if d.WriteBW(pat, 64, th) <= n.WriteBW(pat, 64, th) {
+				t.Errorf("DRAM write not faster than NVRAM (%v, %d threads)", pat, th)
+			}
+		}
+	}
+}
+
+// TestAsymmetry: NVRAM read bandwidth is roughly 3x its write bandwidth.
+func TestAsymmetry(t *testing.T) {
+	p := OptaneDC512()
+	r := p.ReadBW(mem.Sequential, 64, 24)
+	w := p.WriteBW(mem.Sequential, 64, 24)
+	if ratio := r / w; ratio < 2 || ratio > 4.5 {
+		t.Errorf("read/write asymmetry = %.2f, want ~3", ratio)
+	}
+}
+
+func TestModelSocketScaling(t *testing.T) {
+	m1 := NewCascadeLake(1)
+	m2 := NewCascadeLake(2)
+	bw1 := m1.NVRAMReadBW(mem.Sequential, 64, 24, 1)
+	bw2 := m2.NVRAMReadBW(mem.Sequential, 64, 24, 1)
+	if bw2 != 2*bw1 {
+		t.Errorf("2-socket bandwidth %.1f != 2x 1-socket %.1f", bw2/mem.GB, bw1/mem.GB)
+	}
+	if NewCascadeLake(0).Sockets != 1 {
+		t.Error("socket count should clamp to 1")
+	}
+}
+
+func TestDemandIssueBW(t *testing.T) {
+	m := NewCascadeLake(1)
+	// More threads issue more.
+	if m.DemandIssueBW(mem.Random, 8, 100, 0) <= m.DemandIssueBW(mem.Random, 1, 100, 0) {
+		t.Error("issue bandwidth should grow with threads")
+	}
+	// Higher latency issues less.
+	if m.DemandIssueBW(mem.Random, 4, 300, 0) >= m.DemandIssueBW(mem.Random, 4, 100, 0) {
+		t.Error("issue bandwidth should fall with latency")
+	}
+	// Sequential prefetch helps.
+	if m.DemandIssueBW(mem.Sequential, 4, 100, 0) <= m.DemandIssueBW(mem.Random, 4, 100, 0) {
+		t.Error("sequential issue should beat random")
+	}
+	// Defaults for degenerate arguments.
+	if m.DemandIssueBW(mem.Random, 0, 0, 0) <= 0 {
+		t.Error("degenerate arguments should still produce a positive bound")
+	}
+	// A dependency-limited workload issues less than the hardware MLP.
+	if m.DemandIssueBW(mem.Random, 8, 100, 1.5) >= m.DemandIssueBW(mem.Random, 8, 100, 0) {
+		t.Error("reduced MLP should lower the issue bound")
+	}
+}
+
+// TestStreamDegradation: sequential NVRAM bandwidth falls toward the
+// random floor as streams multiply; random traffic is unaffected; one
+// or two streams keep the calibrated values.
+func TestStreamDegradation(t *testing.T) {
+	m := NewCascadeLake(1)
+	seq1 := m.NVRAMWriteBW(mem.Sequential, 64, 4, 1)
+	seq2 := m.NVRAMWriteBW(mem.Sequential, 64, 4, 2)
+	seq6 := m.NVRAMWriteBW(mem.Sequential, 64, 4, 6)
+	if seq1 != seq2 {
+		t.Errorf("two streams should keep full bandwidth: %.1f vs %.1f", seq1/mem.GB, seq2/mem.GB)
+	}
+	if seq6 >= seq2/2 {
+		t.Errorf("six streams should collapse sequential writes: %.2f vs %.2f GB/s", seq6/mem.GB, seq2/mem.GB)
+	}
+	rand64 := m.NVRAMWriteBW(mem.Random, 64, 4, 1)
+	if seq6 >= rand64 {
+		// Thrashed merging plus media read-modify-write lands below
+		// even plain random writes.
+		t.Errorf("thrashed sequential (%.2f) should not beat random (%.2f)", seq6/mem.GB, rand64/mem.GB)
+	}
+	// Random traffic has no merging to lose.
+	r1 := m.NVRAMReadBW(mem.Random, 64, 24, 1)
+	r8 := m.NVRAMReadBW(mem.Random, 64, 24, 8)
+	if r1 != r8 {
+		t.Errorf("random reads changed with streams: %.2f vs %.2f", r1/mem.GB, r8/mem.GB)
+	}
+	// The 2LM variants degrade the same way.
+	il2 := m.NVRAMReadBW2LM(mem.InterleavedSeq, 64, 2)
+	il6 := m.NVRAMReadBW2LM(mem.InterleavedSeq, 64, 6)
+	if il6 >= il2 {
+		t.Errorf("2LM read bandwidth did not degrade with streams: %.2f vs %.2f", il6/mem.GB, il2/mem.GB)
+	}
+}
+
+func TestThreadClamping(t *testing.T) {
+	p := OptaneDC512()
+	if p.ReadBW(mem.Random, 64, 0) != p.ReadBW(mem.Random, 64, 1) {
+		t.Error("0 threads should behave as 1")
+	}
+	if p.WriteBW(mem.Random, 64, -3) != p.WriteBW(mem.Random, 64, 1) {
+		t.Error("negative threads should behave as 1")
+	}
+	if p.ReadBW(mem.Random, 0, 4) != p.ReadBW(mem.Random, mem.Line, 4) {
+		t.Error("0 granularity should behave as one line")
+	}
+}

@@ -1,0 +1,197 @@
+// Set-associative tag store. The Cascade Lake DRAM cache is direct
+// mapped (the paper's limitation #1: "the direct-mapped, insert on
+// miss cache is inflexible and many conflicts can increase the miss
+// rate"), but the repository also models N-way LRU variants so the
+// ablation experiments can quantify how much associativity alone would
+// recover — one of the future-hardware directions the paper's
+// discussion raises.
+
+package cache
+
+import (
+	"fmt"
+
+	"twolm/internal/mem"
+)
+
+// Assoc is an N-way set-associative, 64 B-granular tag store with LRU
+// replacement. Ways=1 degenerates to a direct-mapped cache and is the
+// configuration matching the real hardware.
+//
+// Entries are addressed by opaque handles returned from Probe; a
+// handle stays valid until the next Probe of the same set.
+type Assoc struct {
+	entries  []entry
+	stamps   []uint64
+	clock    uint64
+	sets     uint64
+	ways     uint64
+	capacity uint64
+}
+
+// NewAssoc returns a tag store of the given capacity in bytes and
+// associativity.
+func NewAssoc(capacity uint64, ways int) (*Assoc, error) {
+	if ways < 1 {
+		return nil, fmt.Errorf("cache: ways %d must be positive", ways)
+	}
+	if capacity == 0 || capacity%(mem.Line*uint64(ways)) != 0 {
+		return nil, fmt.Errorf("cache: capacity %d must be a positive multiple of %d ways x %d B lines",
+			capacity, ways, mem.Line)
+	}
+	lines := capacity / mem.Line
+	return &Assoc{
+		entries:  make([]entry, lines),
+		stamps:   make([]uint64, lines),
+		sets:     lines / uint64(ways),
+		ways:     uint64(ways),
+		capacity: capacity,
+	}, nil
+}
+
+// Capacity returns the store capacity in bytes.
+func (c *Assoc) Capacity() uint64 { return c.capacity }
+
+// Sets returns the number of sets.
+func (c *Assoc) Sets() uint64 { return c.sets }
+
+// Ways returns the associativity.
+func (c *Assoc) Ways() int { return int(c.ways) }
+
+// Lines returns the number of line slots.
+func (c *Assoc) Lines() uint64 { return c.sets * c.ways }
+
+// index splits an address into set and tag.
+func (c *Assoc) index(addr uint64) (set uint64, tag uint32) {
+	line := addr >> mem.LineShift
+	return line % c.sets, uint32(line / c.sets)
+}
+
+// Probe performs a tag check for addr. On a hit, the returned handle
+// identifies the resident entry (its LRU stamp is refreshed). On a
+// miss, the handle identifies the replacement victim — an invalid way
+// if one exists (MissClean), otherwise the least recently used way
+// (MissClean or MissDirty by its state).
+func (c *Assoc) Probe(addr uint64) (handle uint64, res LookupResult) {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	victim := base
+	victimStamp := ^uint64(0)
+	for w := uint64(0); w < c.ways; w++ {
+		h := base + w
+		e := &c.entries[h]
+		if e.flags&flagValid == 0 {
+			// Remember the first invalid way as the preferred victim,
+			// but keep scanning for a hit.
+			if victimStamp != 0 {
+				victim, victimStamp = h, 0
+			}
+			continue
+		}
+		if e.tag == tag {
+			c.clock++
+			c.stamps[h] = c.clock
+			return h, Hit
+		}
+		if c.stamps[h] < victimStamp {
+			victim, victimStamp = h, c.stamps[h]
+		}
+	}
+	e := c.entries[victim]
+	if e.flags&flagValid == 0 {
+		return victim, MissClean
+	}
+	if e.flags&flagDirty != 0 {
+		return victim, MissDirty
+	}
+	return victim, MissClean
+}
+
+// Install places addr's line at handle in the clean, unowned state.
+func (c *Assoc) Install(handle, addr uint64) {
+	_, tag := c.index(addr)
+	c.entries[handle] = entry{tag: tag, flags: flagValid}
+	c.clock++
+	c.stamps[handle] = c.clock
+}
+
+// VictimAddr reconstructs the address of the line at handle.
+func (c *Assoc) VictimAddr(handle uint64) (addr uint64, ok bool) {
+	e := c.entries[handle]
+	if e.flags&flagValid == 0 {
+		return 0, false
+	}
+	set := handle / c.ways
+	return (uint64(e.tag)*c.sets + set) << mem.LineShift, true
+}
+
+// MarkDirty sets the dirty bit at handle.
+func (c *Assoc) MarkDirty(handle uint64) { c.entries[handle].flags |= flagDirty }
+
+// IsDirty reports whether the entry at handle is valid and dirty.
+func (c *Assoc) IsDirty(handle uint64) bool {
+	f := c.entries[handle].flags
+	return f&flagValid != 0 && f&flagDirty != 0
+}
+
+// Invalidate drops the entry at handle.
+func (c *Assoc) Invalidate(handle uint64) {
+	c.entries[handle] = entry{}
+	c.stamps[handle] = 0
+}
+
+// SetLLCOwned marks the entry at handle as held by the on-chip
+// hierarchy (the Dirty Data Optimization precondition).
+func (c *Assoc) SetLLCOwned(handle uint64, owned bool) {
+	if owned {
+		c.entries[handle].flags |= flagLLCOwned
+	} else {
+		c.entries[handle].flags &^= flagLLCOwned
+	}
+}
+
+// LLCOwned reports the LLC-owned flag at handle.
+func (c *Assoc) LLCOwned(handle uint64) bool {
+	return c.entries[handle].flags&flagLLCOwned != 0
+}
+
+// DirtyLines returns the number of valid dirty lines. O(lines).
+func (c *Assoc) DirtyLines() uint64 {
+	var n uint64
+	for i := range c.entries {
+		f := c.entries[i].flags
+		if f&flagValid != 0 && f&flagDirty != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ValidLines returns the number of valid lines. O(lines).
+func (c *Assoc) ValidLines() uint64 {
+	var n uint64
+	for i := range c.entries {
+		if c.entries[i].flags&flagValid != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachDirty calls fn with the address of every valid dirty line.
+func (c *Assoc) ForEachDirty(fn func(addr uint64)) {
+	for h := range c.entries {
+		if c.IsDirty(uint64(h)) {
+			if addr, ok := c.VictimAddr(uint64(h)); ok {
+				fn(addr)
+			}
+		}
+	}
+}
+
+// Reset invalidates every entry.
+func (c *Assoc) Reset() {
+	clear(c.entries)
+	clear(c.stamps)
+	c.clock = 0
+}

@@ -1,0 +1,188 @@
+// Package cache implements the metadata store of the 2LM direct-mapped
+// DRAM cache.
+//
+// The Cascade Lake DRAM cache is direct mapped at 64 B granularity with
+// tags stored in the spare ECC bits of each DRAM line (Intel patent
+// US 2017/0031821; the paper's Section IV). This package tracks, per
+// set, the resident tag, a valid bit, a dirty bit, and an "LLC owned"
+// bit used by the IMC's Dirty Data Optimization model. It implements
+// pure metadata bookkeeping; the traffic consequences of lookups and
+// fills are the IMC's business.
+package cache
+
+import (
+	"fmt"
+
+	"twolm/internal/mem"
+)
+
+// Flag bits of an entry.
+const (
+	flagValid uint8 = 1 << iota
+	flagDirty
+	flagLLCOwned
+)
+
+// entry is the per-set metadata: the tag plus state flags. With 64 B
+// sets, a 192 GiB cache has 3 G sets on hardware; scaled simulations
+// keep this array small.
+type entry struct {
+	tag   uint32
+	flags uint8
+}
+
+// LookupResult classifies a tag check.
+type LookupResult uint8
+
+const (
+	// Hit: the requested address is resident.
+	Hit LookupResult = iota
+	// MissClean: another (or no) address occupies the set and its data
+	// is unmodified — eviction needs no writeback.
+	MissClean
+	// MissDirty: the aliasing occupant has been modified and must be
+	// written back to NVRAM on eviction.
+	MissDirty
+)
+
+// String implements fmt.Stringer.
+func (r LookupResult) String() string {
+	switch r {
+	case Hit:
+		return "hit"
+	case MissClean:
+		return "miss-clean"
+	case MissDirty:
+		return "miss-dirty"
+	default:
+		return fmt.Sprintf("LookupResult(%d)", uint8(r))
+	}
+}
+
+// DirectMapped is the metadata array of a direct-mapped, 64 B-granular
+// cache over a physical address space.
+type DirectMapped struct {
+	entries  []entry
+	sets     uint64
+	capacity uint64
+}
+
+// New returns a direct-mapped cache with the given capacity in bytes
+// (must be a positive multiple of the 64 B line size).
+func New(capacity uint64) (*DirectMapped, error) {
+	if capacity == 0 || capacity%mem.Line != 0 {
+		return nil, fmt.Errorf("cache: capacity %d must be a positive multiple of %d", capacity, mem.Line)
+	}
+	sets := capacity / mem.Line
+	return &DirectMapped{
+		entries:  make([]entry, sets),
+		sets:     sets,
+		capacity: capacity,
+	}, nil
+}
+
+// Capacity returns the cache capacity in bytes.
+func (c *DirectMapped) Capacity() uint64 { return c.capacity }
+
+// Sets returns the number of sets (lines) in the cache.
+func (c *DirectMapped) Sets() uint64 { return c.sets }
+
+// Index splits an address into its set index and tag.
+func (c *DirectMapped) Index(addr uint64) (set uint64, tag uint32) {
+	line := addr >> mem.LineShift
+	return line % c.sets, uint32(line / c.sets)
+}
+
+// Lookup performs a tag check for addr and returns the set index, the
+// requested tag, and the result. It does not modify state.
+func (c *DirectMapped) Lookup(addr uint64) (set uint64, tag uint32, res LookupResult) {
+	set, tag = c.Index(addr)
+	e := c.entries[set]
+	switch {
+	case e.flags&flagValid == 0:
+		return set, tag, MissClean
+	case e.tag == tag:
+		return set, tag, Hit
+	case e.flags&flagDirty != 0:
+		return set, tag, MissDirty
+	default:
+		return set, tag, MissClean
+	}
+}
+
+// VictimAddr reconstructs the physical address of the line currently
+// occupying set; ok is false if the set is invalid.
+func (c *DirectMapped) VictimAddr(set uint64) (addr uint64, ok bool) {
+	e := c.entries[set]
+	if e.flags&flagValid == 0 {
+		return 0, false
+	}
+	return (uint64(e.tag)*c.sets + set) << mem.LineShift, true
+}
+
+// Insert installs tag into set in the clean, not-LLC-owned state,
+// replacing any previous occupant.
+func (c *DirectMapped) Insert(set uint64, tag uint32) {
+	c.entries[set] = entry{tag: tag, flags: flagValid}
+}
+
+// Invalidate drops the line in set without any writeback.
+func (c *DirectMapped) Invalidate(set uint64) {
+	c.entries[set] = entry{}
+}
+
+// MarkDirty sets the dirty bit of the line in set.
+func (c *DirectMapped) MarkDirty(set uint64) {
+	c.entries[set].flags |= flagDirty
+}
+
+// IsDirty reports whether the line in set is valid and dirty.
+func (c *DirectMapped) IsDirty(set uint64) bool {
+	f := c.entries[set].flags
+	return f&flagValid != 0 && f&flagDirty != 0
+}
+
+// SetLLCOwned marks the resident line as held (in E/M state) by the
+// on-chip cache hierarchy. The IMC model uses this for the Dirty Data
+// Optimization: a writeback of a line the LLC owns needs no tag check.
+func (c *DirectMapped) SetLLCOwned(set uint64, owned bool) {
+	if owned {
+		c.entries[set].flags |= flagLLCOwned
+	} else {
+		c.entries[set].flags &^= flagLLCOwned
+	}
+}
+
+// LLCOwned reports whether the resident line is marked as LLC owned.
+func (c *DirectMapped) LLCOwned(set uint64) bool {
+	return c.entries[set].flags&flagLLCOwned != 0
+}
+
+// DirtyLines returns the number of valid dirty lines. O(sets); intended
+// for tests and reports, not hot paths.
+func (c *DirectMapped) DirtyLines() uint64 {
+	var n uint64
+	for i := range c.entries {
+		f := c.entries[i].flags
+		if f&flagValid != 0 && f&flagDirty != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ValidLines returns the number of valid lines. O(sets).
+func (c *DirectMapped) ValidLines() uint64 {
+	var n uint64
+	for i := range c.entries {
+		if c.entries[i].flags&flagValid != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset invalidates every set.
+func (c *DirectMapped) Reset() {
+	clear(c.entries)
+}

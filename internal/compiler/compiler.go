@@ -1,0 +1,238 @@
+// Package compiler is the ngraph-like backend for nn programs: it
+// computes tensor lifetimes, lays every tensor out in one contiguous
+// heap with a best-fit reusing allocator (ngraph "allocates a single
+// buffer for the entire network"; the paper's Figure 5d plots offsets
+// into that buffer), and models per-kernel compute time with a simple
+// roofline.
+//
+// The allocator's reuse of freed regions during the backward pass is
+// what produces the paper's central CNN pathology: backward-pass
+// tensors are written into heap space whose previous occupants are
+// still *dirty in the DRAM cache*, so the hardware writes dead data
+// back to NVRAM.
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"twolm/internal/mem"
+	"twolm/internal/nn"
+)
+
+// Plan is a compiled program: scaled tensor sizes, heap offsets and
+// lifetimes.
+type Plan struct {
+	Prog *nn.Program
+	// Scale is the footprint divisor applied to every tensor.
+	Scale uint64
+	// Bytes is the scaled, line-aligned size of each tensor.
+	Bytes []uint64
+	// Offsets is each tensor's byte offset in the heap. Offsets of
+	// tensors with disjoint lifetimes may alias — that is the reuse
+	// the study depends on.
+	Offsets []uint64
+	// HeapSize is the scaled peak heap extent (the program footprint).
+	HeapSize uint64
+	// FirstDef and LastUse are kernel indices bounding each tensor's
+	// lifetime. Weights have FirstDef -1 and LastUse len(kernels).
+	FirstDef []int
+	LastUse  []int
+}
+
+// freeBlock is one region of the allocator's free list.
+type freeBlock struct {
+	off, size uint64
+}
+
+// freeList is a best-fit allocator with coalescing over [0, inf); the
+// heap end grows on demand.
+type freeList struct {
+	blocks []freeBlock // sorted by offset
+	end    uint64      // current heap extent
+}
+
+// alloc returns the offset of a best-fit block of n bytes, growing the
+// heap if nothing fits.
+func (f *freeList) alloc(n uint64) uint64 {
+	best := -1
+	for i, b := range f.blocks {
+		if b.size >= n && (best < 0 || b.size < f.blocks[best].size) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		b := f.blocks[best]
+		if b.size == n {
+			f.blocks = append(f.blocks[:best], f.blocks[best+1:]...)
+		} else {
+			f.blocks[best].off += n
+			f.blocks[best].size -= n
+		}
+		return b.off
+	}
+	// Grow: if the heap ends with a free tail adjacent to end, extend it.
+	off := f.end
+	if k := len(f.blocks); k > 0 {
+		last := f.blocks[k-1]
+		if last.off+last.size == f.end {
+			off = last.off
+			f.blocks = f.blocks[:k-1]
+		}
+	}
+	f.end = off + n
+	return off
+}
+
+// free returns a region to the free list, coalescing neighbors.
+func (f *freeList) free(off, size uint64) {
+	i := sort.Search(len(f.blocks), func(i int) bool { return f.blocks[i].off >= off })
+	f.blocks = append(f.blocks, freeBlock{})
+	copy(f.blocks[i+1:], f.blocks[i:])
+	f.blocks[i] = freeBlock{off, size}
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(f.blocks) && f.blocks[i].off+f.blocks[i].size == f.blocks[i+1].off {
+		f.blocks[i].size += f.blocks[i+1].size
+		f.blocks = append(f.blocks[:i+1], f.blocks[i+2:]...)
+	}
+	if i > 0 && f.blocks[i-1].off+f.blocks[i-1].size == f.blocks[i].off {
+		f.blocks[i-1].size += f.blocks[i].size
+		f.blocks = append(f.blocks[:i], f.blocks[i+1:]...)
+	}
+}
+
+// Compile lays out prog at the given footprint scale (a power of two;
+// 1 means full size).
+func Compile(prog *nn.Program, scale uint64) (*Plan, error) {
+	if scale == 0 || scale&(scale-1) != 0 {
+		return nil, fmt.Errorf("compiler: scale %d must be a nonzero power of two", scale)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	nT := len(prog.Tensors)
+	nK := len(prog.Kernels)
+	plan := &Plan{
+		Prog:     prog,
+		Scale:    scale,
+		Bytes:    make([]uint64, nT),
+		Offsets:  make([]uint64, nT),
+		FirstDef: make([]int, nT),
+		LastUse:  make([]int, nT),
+	}
+	for i, t := range prog.Tensors {
+		b := t.Bytes() / scale
+		if b < mem.Line {
+			b = mem.Line
+		}
+		plan.Bytes[i] = mem.AlignUp(b, mem.Line)
+		plan.FirstDef[i] = -1
+		plan.LastUse[i] = -1
+	}
+
+	for ki, k := range prog.Kernels {
+		for _, t := range k.Writes {
+			if plan.FirstDef[t] < 0 {
+				plan.FirstDef[t] = ki
+			}
+			plan.LastUse[t] = ki
+		}
+		for _, t := range k.Reads {
+			plan.LastUse[t] = ki
+		}
+	}
+
+	// Weights persist for the whole program at the base of the heap.
+	var fl freeList
+	for i, t := range prog.Tensors {
+		if t.Kind == nn.Weight {
+			plan.Offsets[i] = fl.alloc(plan.Bytes[i])
+			plan.FirstDef[i] = -1
+			plan.LastUse[i] = nK
+		}
+	}
+
+	// Dynamic tensors: allocate at first definition, free after last use.
+	freeAt := make([][]int, nK)
+	for i, t := range prog.Tensors {
+		if t.Kind == nn.Weight || plan.LastUse[i] < 0 {
+			continue
+		}
+		freeAt[plan.LastUse[i]] = append(freeAt[plan.LastUse[i]], i)
+	}
+	for ki, k := range prog.Kernels {
+		for _, t := range k.Writes {
+			if prog.Tensors[t].Kind != nn.Weight && plan.FirstDef[t] == ki {
+				plan.Offsets[t] = fl.alloc(plan.Bytes[t])
+			}
+		}
+		for _, t := range freeAt[ki] {
+			fl.free(plan.Offsets[t], plan.Bytes[t])
+		}
+	}
+	plan.HeapSize = fl.end
+	return plan, nil
+}
+
+// Region returns the heap-relative region of tensor id, offset by base.
+func (p *Plan) Region(base uint64, id int) mem.Region {
+	return mem.Region{Base: base + p.Offsets[id], Size: p.Bytes[id]}
+}
+
+// LiveBytesAt returns the total bytes of non-weight tensors live when
+// kernel k executes (defined at or before k, last used at or after k).
+func (p *Plan) LiveBytesAt(k int) uint64 {
+	var n uint64
+	for i := range p.Bytes {
+		if p.Prog.Tensors[i].Kind == nn.Weight {
+			continue
+		}
+		if p.FirstDef[i] >= 0 && p.FirstDef[i] <= k && p.LastUse[i] >= k {
+			n += p.Bytes[i]
+		}
+	}
+	return n
+}
+
+// KernelBytes returns the scaled bytes a kernel reads and writes.
+func (p *Plan) KernelBytes(k int) (reads, writes uint64) {
+	kr := p.Prog.Kernels[k]
+	for _, t := range kr.Reads {
+		reads += p.Bytes[t]
+	}
+	for _, t := range kr.Writes {
+		writes += p.Bytes[t]
+	}
+	return reads, writes
+}
+
+// CheckNoOverlap verifies the allocator invariant: at every kernel, the
+// heap regions of live tensors are pairwise disjoint. O(K * T log T);
+// intended for tests.
+func (p *Plan) CheckNoOverlap() error {
+	type span struct {
+		off, end uint64
+		id       int
+	}
+	for k := range p.Prog.Kernels {
+		var live []span
+		for i := range p.Bytes {
+			first := p.FirstDef[i]
+			if p.Prog.Tensors[i].Kind == nn.Weight {
+				first = 0
+			}
+			if first >= 0 && first <= k && p.LastUse[i] >= k {
+				live = append(live, span{p.Offsets[i], p.Offsets[i] + p.Bytes[i], i})
+			}
+		}
+		sort.Slice(live, func(a, b int) bool { return live[a].off < live[b].off })
+		for i := 1; i < len(live); i++ {
+			if live[i].off < live[i-1].end {
+				return fmt.Errorf("compiler: kernel %d: tensors %d (%s) and %d (%s) overlap",
+					k, live[i-1].id, p.Prog.Tensors[live[i-1].id].Name,
+					live[i].id, p.Prog.Tensors[live[i].id].Name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+// Liveness visualization: the paper's Figure 5d plots the ngraph heap
+// through one training iteration — offset on the vertical axis, time
+// on the horizontal, colored by state (free, live, being read, being
+// written). LivenessMap renders the same picture from a compiled plan
+// as a character grid suitable for terminals and CSV export.
+
+package compiler
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"twolm/internal/nn"
+)
+
+// Cell states of the liveness map, matching Figure 5d's legend.
+const (
+	// CellFree: the region will be written before it is next read —
+	// semantically free (the paper's white).
+	CellFree = ' '
+	// CellLive: holds data that will be read in the future (gray).
+	CellLive = '.'
+	// CellRead: actively being read by the column's kernels (red).
+	CellRead = 'r'
+	// CellWrite: actively being written (blue); read+write shows as
+	// write, as in the original figure.
+	CellWrite = 'W'
+)
+
+// LivenessMap is a time-by-offset grid over a plan's heap.
+type LivenessMap struct {
+	Plan *Plan
+	// Grid[row][col]: row 0 is the bottom of the heap; col 0 the first
+	// kernels. Cells hold the Cell* states.
+	Grid [][]byte
+	// KernelsPerCol is the schedule compression factor.
+	KernelsPerCol int
+	// BytesPerRow is the heap compression factor.
+	BytesPerRow uint64
+	// ForwardCols marks the forward/backward boundary column.
+	ForwardCols int
+}
+
+// NewLivenessMap renders the plan into a cols x rows grid.
+func NewLivenessMap(plan *Plan, cols, rows int) (*LivenessMap, error) {
+	if cols < 1 || rows < 1 {
+		return nil, fmt.Errorf("compiler: liveness map needs positive dimensions, got %dx%d", cols, rows)
+	}
+	nK := len(plan.Prog.Kernels)
+	if nK == 0 || plan.HeapSize == 0 {
+		return nil, fmt.Errorf("compiler: empty plan")
+	}
+	if cols > nK {
+		cols = nK
+	}
+	m := &LivenessMap{
+		Plan:          plan,
+		KernelsPerCol: (nK + cols - 1) / cols,
+		BytesPerRow:   (plan.HeapSize + uint64(rows) - 1) / uint64(rows),
+	}
+	m.ForwardCols = plan.Prog.ForwardKernels / m.KernelsPerCol
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = make([]byte, cols)
+		for c := range grid[r] {
+			grid[r][c] = CellFree
+		}
+	}
+
+	paint := func(col int, off, size uint64, state byte) {
+		if col >= cols {
+			col = cols - 1
+		}
+		r0 := int(off / m.BytesPerRow)
+		r1 := int((off + size - 1) / m.BytesPerRow)
+		for r := r0; r <= r1 && r < rows; r++ {
+			cur := grid[r][col]
+			// Priority: write > read > live > free.
+			switch state {
+			case CellWrite:
+				grid[r][col] = CellWrite
+			case CellRead:
+				if cur != CellWrite {
+					grid[r][col] = CellRead
+				}
+			case CellLive:
+				if cur == CellFree {
+					grid[r][col] = CellLive
+				}
+			}
+		}
+	}
+
+	for ki, k := range plan.Prog.Kernels {
+		col := ki / m.KernelsPerCol
+		// Live tensors: defined, not yet past last use.
+		for t := range plan.Bytes {
+			if plan.Prog.Tensors[t].Kind == nn.Weight {
+				continue
+			}
+			if plan.FirstDef[t] >= 0 && plan.FirstDef[t] <= ki && plan.LastUse[t] >= ki {
+				paint(col, plan.Offsets[t], plan.Bytes[t], CellLive)
+			}
+		}
+		for _, t := range k.Reads {
+			paint(col, plan.Offsets[t], plan.Bytes[t], CellRead)
+		}
+		for _, t := range k.Writes {
+			paint(col, plan.Offsets[t], plan.Bytes[t], CellWrite)
+		}
+	}
+	m.Grid = grid
+	return m, nil
+}
+
+// Fprint renders the map with the heap's base at the bottom and a
+// forward/backward marker row, mirroring Figure 5d's orientation.
+func (m *LivenessMap) Fprint(w io.Writer) error {
+	rows := len(m.Grid)
+	cols := len(m.Grid[0])
+	if _, err := fmt.Fprintf(w,
+		"Heap liveness (x: %d kernels/col, y: %s/row; ' '=free '.'=live r=read W=write)\n",
+		m.KernelsPerCol, byteUnit(m.BytesPerRow)); err != nil {
+		return err
+	}
+	for r := rows - 1; r >= 0; r-- {
+		if _, err := fmt.Fprintf(w, "%s\n", string(m.Grid[r])); err != nil {
+			return err
+		}
+	}
+	marker := make([]byte, cols)
+	for c := range marker {
+		if c < m.ForwardCols {
+			marker[c] = 'f'
+		} else {
+			marker[c] = 'b'
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s\n(forward pass 'f' | backward pass 'b')\n", marker)
+	return err
+}
+
+// String renders the map.
+func (m *LivenessMap) String() string {
+	var sb strings.Builder
+	_ = m.Fprint(&sb)
+	return sb.String()
+}
+
+// byteUnit formats a compression factor compactly.
+func byteUnit(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// FreeFraction returns the fraction of grid cells that are free in the
+// given column range — a quantitative handle on the folding pattern.
+func (m *LivenessMap) FreeFraction(colFrom, colTo int) float64 {
+	total, free := 0, 0
+	for _, row := range m.Grid {
+		for c := colFrom; c < colTo && c < len(row); c++ {
+			total++
+			if row[c] == CellFree {
+				free++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(free) / float64(total)
+}

@@ -1,0 +1,102 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLivenessMapValidation(t *testing.T) {
+	plan := compileTiny(t, 8, 1)
+	if _, err := NewLivenessMap(plan, 0, 10); err == nil {
+		t.Error("zero columns accepted")
+	}
+	if _, err := NewLivenessMap(plan, 10, 0); err == nil {
+		t.Error("zero rows accepted")
+	}
+}
+
+func TestLivenessMapDimensions(t *testing.T) {
+	plan := compileTiny(t, 8, 1)
+	m, err := NewLivenessMap(plan, 40, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Grid) != 12 {
+		t.Errorf("rows = %d", len(m.Grid))
+	}
+	if len(m.Grid[0]) != 40 && len(m.Grid[0]) != len(plan.Prog.Kernels) {
+		t.Errorf("cols = %d", len(m.Grid[0]))
+	}
+	if m.ForwardCols <= 0 || m.ForwardCols >= len(m.Grid[0]) {
+		t.Errorf("forward boundary column = %d of %d", m.ForwardCols, len(m.Grid[0]))
+	}
+}
+
+// TestLivenessMapShowsActivity: the grid contains reads, writes and
+// live cells — and some free space reappears during the backward pass
+// (the Figure 5d folding).
+func TestLivenessMapShowsActivity(t *testing.T) {
+	plan := compileTiny(t, 32, 1)
+	m, err := NewLivenessMap(plan, 60, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[byte]int{}
+	for _, row := range m.Grid {
+		for _, c := range row {
+			counts[c]++
+		}
+	}
+	for _, state := range []byte{CellFree, CellLive, CellRead, CellWrite} {
+		if counts[state] == 0 {
+			t.Errorf("state %q never appears", state)
+		}
+	}
+}
+
+// TestLivenessFoldsBack: late-backward columns must be freer than the
+// columns at the forward/backward boundary (activations retire).
+func TestLivenessFoldsBack(t *testing.T) {
+	plan := compileTiny(t, 32, 1)
+	cols := 60
+	m, err := NewLivenessMap(plan, cols, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols = len(m.Grid[0])
+	boundary := m.ForwardCols
+	atPeak := m.FreeFraction(boundary-2, boundary+1)
+	atEnd := m.FreeFraction(cols-3, cols)
+	if atEnd <= atPeak {
+		t.Errorf("heap did not free up in the backward pass: free %.2f at peak vs %.2f at end", atPeak, atEnd)
+	}
+}
+
+func TestLivenessMapRenders(t *testing.T) {
+	plan := compileTiny(t, 8, 1)
+	m, err := NewLivenessMap(plan, 30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.String()
+	if !strings.Contains(out, "forward pass") {
+		t.Errorf("missing phase marker:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 10 {
+		t.Errorf("render too short:\n%s", out)
+	}
+}
+
+func TestByteUnit(t *testing.T) {
+	cases := map[uint64]string{
+		512:     "512 B",
+		2 << 10: "2.0 KiB",
+		3 << 20: "3.0 MiB",
+		5 << 30: "5.0 GiB",
+	}
+	for in, want := range cases {
+		if got := byteUnit(in); got != want {
+			t.Errorf("byteUnit(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

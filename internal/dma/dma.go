@@ -1,0 +1,40 @@
+// Package dma models copy engines for the hardware/software co-design
+// direction the paper closes with (Section VII-B): software-managed
+// data movement currently burns CPU cores on loads and nontemporal
+// stores and cannot easily run asynchronously; "if software, with its
+// high level knowledge of data access patterns, could work with the
+// hardware, then we could realize the benefits of hardware
+// acceleration without the limitations presented above."
+//
+// An Engine is a bandwidth ceiling plus a name; core.System.DMACopy
+// provides the transfer mechanics (device traffic without CPU issue
+// cost, overlapping compute). The autotm package accepts an Engine to
+// switch its tensor moves from synchronous CPU copies to asynchronous
+// engine transfers, and the ablation experiments compare the
+// generations.
+package dma
+
+import "twolm/internal/mem"
+
+// Engine describes a copy engine.
+type Engine struct {
+	// Name identifies the engine in reports.
+	Name string
+	// Bandwidth is the engine's transfer ceiling in bytes/s (counting
+	// both the read and the write side of each copy).
+	Bandwidth float64
+}
+
+// CurrentGenIOAT models today's I/O-oriented DMA engines (Intel
+// I/OAT-class): a few GB/s, designed for NIC and storage descriptor
+// rings — the engines the paper says "do not fit the requirements of
+// this data movement".
+func CurrentGenIOAT() Engine {
+	return Engine{Name: "ioat", Bandwidth: 6 * mem.GB}
+}
+
+// FutureGen models a co-designed high-bandwidth mover able to saturate
+// the NVRAM devices (DSA-class and beyond).
+func FutureGen() Engine {
+	return Engine{Name: "future", Bandwidth: 60 * mem.GB}
+}

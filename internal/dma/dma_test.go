@@ -1,0 +1,23 @@
+package dma
+
+import "testing"
+
+func TestPresets(t *testing.T) {
+	ioat := CurrentGenIOAT()
+	future := FutureGen()
+	if ioat.Bandwidth <= 0 || future.Bandwidth <= 0 {
+		t.Fatal("non-positive engine bandwidth")
+	}
+	if future.Bandwidth <= ioat.Bandwidth {
+		t.Error("the co-designed engine should out-run the I/O-class engine")
+	}
+	if ioat.Name == "" || future.Name == "" {
+		t.Error("engines need names for reports")
+	}
+	// The I/OAT-class engine must be slower than the NVRAM read peak
+	// (30.6 GB/s), which is what makes it unfit for this data movement
+	// (the paper's Section VII-B claim).
+	if ioat.Bandwidth >= 30e9 {
+		t.Errorf("I/OAT-class bandwidth %.1f GB/s should sit below the device peak", ioat.Bandwidth/1e9)
+	}
+}

@@ -1,0 +1,86 @@
+package dram
+
+import (
+	"testing"
+
+	"twolm/internal/mem"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, mem.MiB); err == nil {
+		t.Error("zero channels accepted")
+	}
+	if _, err := New(6, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(6, 100); err == nil {
+		t.Error("non-line-multiple capacity accepted")
+	}
+	m, err := New(6, 192*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Channels() != 6 || m.Capacity() != 192*mem.MiB {
+		t.Errorf("got %d channels, %d capacity", m.Channels(), m.Capacity())
+	}
+}
+
+func TestCounters(t *testing.T) {
+	m, err := New(3, mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 300; i++ {
+		m.Read(i * mem.Line)
+	}
+	for i := uint64(0); i < 150; i++ {
+		m.Write(i * mem.Line)
+	}
+	if m.TotalReads() != 300 {
+		t.Errorf("TotalReads = %d, want 300", m.TotalReads())
+	}
+	if m.TotalWrites() != 150 {
+		t.Errorf("TotalWrites = %d, want 150", m.TotalWrites())
+	}
+}
+
+// TestChannelInterleave: a sequential line stream should balance
+// perfectly across channels.
+func TestChannelInterleave(t *testing.T) {
+	m, err := New(6, mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lines = 6 * 1000
+	for i := uint64(0); i < lines; i++ {
+		m.Read(i * mem.Line)
+	}
+	for i, ch := range m.ChannelCounters() {
+		if ch.CASReads != 1000 {
+			t.Errorf("channel %d reads = %d, want 1000", i, ch.CASReads)
+		}
+	}
+}
+
+func TestSameLineSameChannel(t *testing.T) {
+	m, _ := New(6, mem.MiB)
+	addr := uint64(12345 * mem.Line)
+	m.Read(addr)
+	m.Write(addr)
+	counters := m.ChannelCounters()
+	for _, ch := range counters {
+		if (ch.CASReads == 0) != (ch.CASWrites == 0) {
+			t.Error("read and write of the same address hit different channels")
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	m, _ := New(2, mem.MiB)
+	m.Read(0)
+	m.Write(64)
+	m.Reset()
+	if m.TotalReads() != 0 || m.TotalWrites() != 0 {
+		t.Error("Reset left nonzero counters")
+	}
+}

@@ -1,0 +1,315 @@
+// Package embed models the other workload class the paper's
+// introduction motivates for NVRAM capacity: recommendation engines
+// ("recommendation engines (such as ... DLRM) can have over 100
+// billion parameters requiring hundreds of gigabytes to terabytes of
+// memory"), whose memory behavior is dominated by sparse lookups into
+// enormous embedding tables — the use case of Eisenman et al.'s
+// Bandana, which the paper cites.
+//
+// The workload: per step, a batch of Zipf-distributed row lookups
+// across a set of embedding tables (inference), optionally followed by
+// sparse gradient updates to the same rows (training). Two placements
+// mirror the paper's hardware-vs-software theme:
+//
+//   - Flat2LM: tables live in memory mode; the hardware DRAM cache
+//     decides what stays in DRAM. Cold lookups pay the 3x clean-miss
+//     amplification and training updates leave dirty lines whose
+//     eviction costs NVRAM write bandwidth.
+//   - SoftwareManaged: app-direct mode with a Bandana-style split —
+//     the hottest rows are pinned in DRAM, cold rows are read straight
+//     from NVRAM with no amplification, and cold-row updates go to
+//     NVRAM with nontemporal stores.
+package embed
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"twolm/internal/core"
+	"twolm/internal/imc"
+	"twolm/internal/mem"
+)
+
+// Placement selects the management strategy.
+type Placement uint8
+
+const (
+	// Flat2LM places tables in memory mode behind the hardware cache.
+	Flat2LM Placement = iota
+	// SoftwareManaged pins hot rows in DRAM and serves cold rows from
+	// NVRAM directly (app-direct mode).
+	SoftwareManaged
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	if p == SoftwareManaged {
+		return "software"
+	}
+	return "2LM"
+}
+
+// Config describes the model and workload.
+type Config struct {
+	// Tables is the number of embedding tables (DLRM: one per sparse
+	// feature).
+	Tables int
+	// RowsPerTable is the row count of each table.
+	RowsPerTable int
+	// Dim is the embedding dimensionality (f32 elements per row).
+	Dim int
+	// Batch is the lookups per table per step.
+	Batch int
+	// ZipfS is the skew of the row popularity distribution (>1).
+	ZipfS float64
+	// Train adds a sparse gradient update of every row touched.
+	Train bool
+	// HotFraction is the fraction of rows the software placement pins
+	// in DRAM (by popularity rank).
+	HotFraction float64
+	// FlushEvery is how many steps the software placement buffers
+	// cold-row gradients in DRAM before flushing them to NVRAM (one
+	// combined write per dirty row — Bandana-style update batching).
+	// 0 selects 4.
+	FlushEvery int
+	// Seed drives the lookup stream.
+	Seed int64
+}
+
+// DefaultConfig returns a model whose tables dwarf the scaled DRAM.
+func DefaultConfig() Config {
+	return Config{
+		Tables:       8,
+		RowsPerTable: 1 << 17,
+		Dim:          64,
+		Batch:        2048,
+		ZipfS:        1.2,
+		HotFraction:  0.10,
+		FlushEvery:   4,
+		Seed:         1,
+	}
+}
+
+// RowBytes returns the byte size of one embedding row.
+func (c Config) RowBytes() uint64 { return uint64(c.Dim) * 4 }
+
+// TableBytes returns the byte size of one table.
+func (c Config) TableBytes() uint64 { return uint64(c.RowsPerTable) * c.RowBytes() }
+
+// TotalBytes returns the full model size.
+func (c Config) TotalBytes() uint64 { return uint64(c.Tables) * c.TableBytes() }
+
+// Model is a placed embedding model over a simulated system.
+type Model struct {
+	cfg       Config
+	sys       *core.System
+	placement Placement
+	// hot[t] and cold[t] are the per-table regions; in 2LM cold covers
+	// the whole table and hot is unused.
+	hot     []mem.Region
+	cold    []mem.Region
+	hotRows int
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+
+	// Software-placement update buffering: cold-row gradients land in
+	// a DRAM staging pool and flush to NVRAM in batches.
+	staging    mem.Region
+	dirtyCold  map[int]bool // table*RowsPerTable + row
+	flushEvery int
+}
+
+// New places the model on sys. Flat2LM requires a memory-mode system;
+// SoftwareManaged an app-direct one.
+func New(sys *core.System, cfg Config, placement Placement) (*Model, error) {
+	if cfg.Tables < 1 || cfg.RowsPerTable < 1 || cfg.Dim < 1 || cfg.Batch < 1 {
+		return nil, fmt.Errorf("embed: non-positive dimensions: %+v", cfg)
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("embed: zipf skew %f must exceed 1", cfg.ZipfS)
+	}
+	switch placement {
+	case Flat2LM:
+		if sys.Mode() != core.Mode2LM {
+			return nil, fmt.Errorf("embed: Flat2LM needs a 2LM system, got %v", sys.Mode())
+		}
+	case SoftwareManaged:
+		if sys.Mode() != core.Mode1LM {
+			return nil, fmt.Errorf("embed: SoftwareManaged needs a 1LM system, got %v", sys.Mode())
+		}
+	default:
+		return nil, fmt.Errorf("embed: unknown placement %d", placement)
+	}
+
+	m := &Model{cfg: cfg, sys: sys, placement: placement}
+	m.rng = rand.New(rand.NewSource(cfg.Seed))
+	m.zipf = rand.NewZipf(m.rng, cfg.ZipfS, 1, uint64(cfg.RowsPerTable-1))
+
+	space := sys.AddressSpace()
+	for t := 0; t < cfg.Tables; t++ {
+		switch placement {
+		case Flat2LM:
+			r, err := space.Alloc(cfg.TableBytes())
+			if err != nil {
+				return nil, fmt.Errorf("embed: table %d: %w", t, err)
+			}
+			m.cold = append(m.cold, r)
+		case SoftwareManaged:
+			m.hotRows = int(cfg.HotFraction * float64(cfg.RowsPerTable))
+			hot, err := space.AllocDRAM(uint64(m.hotRows) * cfg.RowBytes())
+			if err != nil {
+				return nil, fmt.Errorf("embed: hot rows of table %d: %w", t, err)
+			}
+			coldRows := cfg.RowsPerTable - m.hotRows
+			cold, err := space.AllocNVRAM(uint64(coldRows) * cfg.RowBytes())
+			if err != nil {
+				return nil, fmt.Errorf("embed: cold rows of table %d: %w", t, err)
+			}
+			m.hot = append(m.hot, hot)
+			m.cold = append(m.cold, cold)
+		}
+	}
+	if placement == SoftwareManaged && cfg.Train {
+		// Staging pool: one batch worth of gradient rows, recycled.
+		staging, err := space.AllocDRAM(uint64(cfg.Batch) * cfg.RowBytes())
+		if err != nil {
+			return nil, fmt.Errorf("embed: staging pool: %w", err)
+		}
+		m.staging = staging
+		m.dirtyCold = make(map[int]bool)
+		m.flushEvery = cfg.FlushEvery
+		if m.flushEvery <= 0 {
+			m.flushEvery = 4
+		}
+	}
+	return m, nil
+}
+
+// rowRegion returns the region holding a row's data. The Zipf sampler
+// emits small values most often, so row index order IS popularity
+// rank — the software placement's profile is exact, the way Bandana's
+// offline profiling approximates it.
+func (m *Model) rowRegion(table, row int) mem.Region {
+	rb := m.cfg.RowBytes()
+	if m.placement == SoftwareManaged {
+		if row < m.hotRows {
+			return mem.Region{Base: m.hot[table].Base + uint64(row)*rb, Size: rb}
+		}
+		return mem.Region{Base: m.cold[table].Base + uint64(row-m.hotRows)*rb, Size: rb}
+	}
+	return mem.Region{Base: m.cold[table].Base + uint64(row)*rb, Size: rb}
+}
+
+// flushCold writes every buffered cold-row gradient to its NVRAM home
+// with nontemporal stores, in ascending row order for merge-friendly
+// traffic, then clears the buffer.
+func (m *Model) flushCold() {
+	if len(m.dirtyCold) == 0 {
+		return
+	}
+	keys := make([]int, 0, len(m.dirtyCold))
+	for k := range m.dirtyCold {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	// The flush is its own interval: a single ascending nontemporal
+	// stream, the bandwidth-optimal NVRAM write pattern of Section III.
+	m.sys.Sync("embed:pre-flush", 0)
+	m.sys.SetTraffic(mem.Sequential, int(m.cfg.RowBytes()))
+	for _, k := range keys {
+		table, row := k/m.cfg.RowsPerTable, k%m.cfg.RowsPerTable
+		m.sys.StoreNTRange(m.rowRegion(table, row))
+	}
+	m.sys.Sync("embed:flush", 0)
+	m.sys.SetTraffic(mem.Random, int(m.cfg.RowBytes()))
+	clear(m.dirtyCold)
+}
+
+// Result reports a workload run.
+type Result struct {
+	Placement Placement
+	Steps     int
+	Lookups   uint64
+	Updates   uint64
+	Elapsed   float64
+	Counters  imc.Counters
+}
+
+// LookupsPerSecond returns the model-time lookup throughput.
+func (r Result) LookupsPerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Lookups) / r.Elapsed
+}
+
+// Run executes steps of the workload and returns aggregate results.
+func (m *Model) Run(steps int) (Result, error) {
+	if steps < 1 {
+		return Result{}, fmt.Errorf("embed: steps %d must be positive", steps)
+	}
+	sys := m.sys
+	sys.SetTraffic(mem.Random, int(m.cfg.RowBytes()))
+	sys.SetStreams(2)
+	// Lookup streams are independent (no pointer chasing): near the
+	// hardware MLP.
+	sys.SetMLP(8)
+
+	start := sys.Clock()
+	ctr0 := sys.Counters()
+	var lookups, updates uint64
+
+	rows := make([]int, m.cfg.Batch)
+	for step := 0; step < steps; step++ {
+		for t := 0; t < m.cfg.Tables; t++ {
+			for i := range rows {
+				rows[i] = int(m.zipf.Uint64())
+			}
+			for _, row := range rows {
+				m.sys.LoadRange(m.rowRegion(t, row))
+				lookups++
+			}
+			if m.cfg.Train {
+				for i, row := range rows {
+					if m.placement == SoftwareManaged && row >= m.hotRows {
+						// Cold-row gradient: accumulate in the DRAM
+						// staging pool; the row flushes to NVRAM in a
+						// batch, once, no matter how often it was hit.
+						slot := mem.Region{
+							Base: m.staging.Base + uint64(i)*m.cfg.RowBytes(),
+							Size: m.cfg.RowBytes(),
+						}
+						m.sys.StoreRange(slot)
+						m.dirtyCold[t*m.cfg.RowsPerTable+row] = true
+					} else {
+						m.sys.StoreRange(m.rowRegion(t, row))
+					}
+					updates++
+				}
+			}
+		}
+		if m.dirtyCold != nil && (step+1)%m.flushEvery == 0 {
+			m.flushCold()
+		}
+		sys.DrainLLC()
+		sys.Sync(fmt.Sprintf("embed:%s:step%d", m.placement, step), 0)
+	}
+	if m.dirtyCold != nil {
+		m.flushCold()
+		sys.DrainLLC()
+		sys.Sync("embed:final-drain", 0)
+	}
+
+	if err := sys.ValidateCounters(); err != nil {
+		return Result{}, fmt.Errorf("embed: %w", err)
+	}
+	return Result{
+		Placement: m.placement,
+		Steps:     steps,
+		Lookups:   lookups,
+		Updates:   updates,
+		Elapsed:   sys.Clock() - start,
+		Counters:  sys.Counters().Sub(ctr0),
+	}, nil
+}

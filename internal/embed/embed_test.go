@@ -1,0 +1,214 @@
+package embed
+
+import (
+	"testing"
+
+	"twolm/internal/core"
+	"twolm/internal/mem"
+	"twolm/internal/platform"
+)
+
+// testConfig builds tables several times larger than the test DRAM.
+func testConfig(train bool) Config {
+	cfg := DefaultConfig()
+	cfg.Tables = 4
+	cfg.RowsPerTable = 1 << 14
+	cfg.Dim = 32
+	cfg.Batch = 512
+	cfg.Train = train
+	return cfg
+}
+
+func newSystem(t *testing.T, mode core.Mode) *core.System {
+	t.Helper()
+	sys, err := core.New(core.Config{
+		Platform: platform.Config{
+			Sockets: 1, ChannelsPerSocket: 6,
+			DRAMPerChannel:  256 * mem.KiB, // 1.5 MiB DRAM vs 8 MiB model
+			NVRAMPerChannel: 64 * mem.MiB,
+			Scale:           1, Threads: 24,
+		},
+		Mode:     mode,
+		LLCBytes: 32 * mem.KiB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestConfigSizes(t *testing.T) {
+	cfg := testConfig(false)
+	if cfg.RowBytes() != 128 {
+		t.Errorf("RowBytes = %d", cfg.RowBytes())
+	}
+	if cfg.TotalBytes() != uint64(cfg.Tables)*cfg.TableBytes() {
+		t.Error("TotalBytes inconsistent")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(newSystem(t, core.Mode2LM), Config{ZipfS: 1.2}, Flat2LM); err == nil {
+		t.Error("zero dimensions accepted")
+	}
+	bad := testConfig(false)
+	bad.ZipfS = 0.5
+	if _, err := New(newSystem(t, core.Mode2LM), bad, Flat2LM); err == nil {
+		t.Error("invalid skew accepted")
+	}
+	if _, err := New(newSystem(t, core.Mode1LM), testConfig(false), Flat2LM); err == nil {
+		t.Error("Flat2LM on a 1LM system accepted")
+	}
+	if _, err := New(newSystem(t, core.Mode2LM), testConfig(false), SoftwareManaged); err == nil {
+		t.Error("SoftwareManaged on a 2LM system accepted")
+	}
+}
+
+func TestRunCountsLookups(t *testing.T) {
+	cfg := testConfig(false)
+	m, err := New(newSystem(t, core.Mode2LM), cfg, Flat2LM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(3 * cfg.Tables * cfg.Batch)
+	if res.Lookups != want {
+		t.Errorf("lookups = %d, want %d", res.Lookups, want)
+	}
+	if res.Updates != 0 {
+		t.Errorf("inference performed %d updates", res.Updates)
+	}
+	if res.LookupsPerSecond() <= 0 {
+		t.Error("no throughput")
+	}
+}
+
+// TestSoftwarePlacementSplitsTraffic: hot lookups hit DRAM, cold ones
+// NVRAM, with zero tag machinery.
+func TestSoftwarePlacementSplitsTraffic(t *testing.T) {
+	cfg := testConfig(false)
+	m, err := New(newSystem(t, core.Mode1LM), cfg, SoftwareManaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.DRAMRead == 0 || res.Counters.NVRAMRead == 0 {
+		t.Errorf("expected both pools to serve lookups: %v", res.Counters)
+	}
+	// The Zipf skew concentrates lookups on the pinned hot rows.
+	if res.Counters.DRAMRead < res.Counters.NVRAMRead {
+		t.Errorf("hot-row DRAM reads (%d) should dominate cold NVRAM reads (%d)",
+			res.Counters.DRAMRead, res.Counters.NVRAMRead)
+	}
+	if res.Counters.TagAccesses() != 0 {
+		t.Error("software placement has no tag events")
+	}
+}
+
+// TestTrainingDirtiesThe2LMCache: sparse updates under 2LM produce
+// dirty misses and NVRAM write-backs; the software placement's
+// NVRAM writes are exactly its cold-row updates.
+func TestTrainingDirtiesThe2LMCache(t *testing.T) {
+	hw, err := New(newSystem(t, core.Mode2LM), testConfig(true), Flat2LM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwRes, err := hw.Run(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hwRes.Counters.TagMissDirty == 0 {
+		t.Error("2LM training produced no dirty misses")
+	}
+	if hwRes.Counters.NVRAMWrite == 0 {
+		t.Error("2LM training produced no NVRAM write-backs")
+	}
+
+	sw, err := New(newSystem(t, core.Mode1LM), testConfig(true), SoftwareManaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swRes, err := sw.Run(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swRes.Counters.NVRAMWrite == 0 {
+		t.Error("software training wrote no cold rows")
+	}
+	// Fewer NVRAM writes than 2LM: hot-row updates stay in DRAM
+	// forever instead of aging out of the hardware cache.
+	if swRes.Counters.NVRAMWrite >= hwRes.Counters.NVRAMWrite {
+		t.Errorf("software NVRAM writes (%d) not below 2LM (%d)",
+			swRes.Counters.NVRAMWrite, hwRes.Counters.NVRAMWrite)
+	}
+}
+
+// TestSoftwareBeats2LMOnTraining: the Bandana-style placement wins
+// end to end.
+func TestSoftwareBeats2LMOnTraining(t *testing.T) {
+	hw, err := New(newSystem(t, core.Mode2LM), testConfig(true), Flat2LM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwRes, err := hw.Run(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := New(newSystem(t, core.Mode1LM), testConfig(true), SoftwareManaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swRes, err := sw.Run(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swRes.Elapsed >= hwRes.Elapsed {
+		t.Errorf("software placement (%.5fs) not faster than 2LM (%.5fs)",
+			swRes.Elapsed, hwRes.Elapsed)
+	}
+	// Same work either way.
+	if swRes.Lookups != hwRes.Lookups || swRes.Updates != hwRes.Updates {
+		t.Error("placements performed different work")
+	}
+}
+
+// TestDeterminism: same seed, same stream.
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		m, err := New(newSystem(t, core.Mode2LM), testConfig(true), Flat2LM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Counters != b.Counters || a.Elapsed != b.Elapsed {
+		t.Error("identical configurations produced different results")
+	}
+}
+
+func TestRunRejectsBadSteps(t *testing.T) {
+	m, err := New(newSystem(t, core.Mode2LM), testConfig(false), Flat2LM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err == nil {
+		t.Error("zero steps accepted")
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if Flat2LM.String() != "2LM" || SoftwareManaged.String() != "software" {
+		t.Error("unexpected Placement strings")
+	}
+}

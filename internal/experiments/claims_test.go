@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+// TestCheckClaims: every headline claim passes at test scale.
+func TestCheckClaims(t *testing.T) {
+	table, claims, err := CheckClaims(testMicroConfig(), testCNNConfig(), testGraphConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) != 5 {
+		t.Fatalf("claims = %d, want 5", len(claims))
+	}
+	for _, c := range claims {
+		if !c.Pass {
+			t.Errorf("%s FAILED: %s — expected %s, measured %s", c.ID, c.Text, c.Expected, c.Measured)
+		}
+	}
+	if len(table.Rows) != len(claims) {
+		t.Errorf("table rows %d != claims %d", len(table.Rows), len(claims))
+	}
+}

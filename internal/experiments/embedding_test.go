@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func testEmbedConfig() EmbedConfig {
+	cfg := DefaultEmbedConfig()
+	cfg.Scale = 16384 // 12 MiB DRAM
+	cfg.Model.Tables = 4
+	cfg.Model.RowsPerTable = 1 << 17 // 64 MiB model: > 5x the cache
+	cfg.Model.Dim = 32
+	cfg.Model.Batch = 1024
+	cfg.Steps = 6
+	return cfg
+}
+
+// TestEmbedStudyShape: four rows (inference/training x 2LM/software),
+// software wins training, and the hardware cache shows tag activity
+// while the software placement shows none.
+func TestEmbedStudyShape(t *testing.T) {
+	table, err := EmbedStudy(testEmbedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(table.Rows))
+	}
+	// Row order: inference 2LM, inference software, training 2LM,
+	// training software.
+	for i, wantMode := range []string{"2LM", "software", "2LM", "software"} {
+		if table.Rows[i][1] != wantMode {
+			t.Errorf("row %d placement = %q, want %q", i, table.Rows[i][1], wantMode)
+		}
+	}
+	// 2LM rows have a hit rate; software rows have 0 (no tags).
+	hit2LM, _ := strconv.ParseFloat(table.Rows[0][3], 64)
+	hitSW, _ := strconv.ParseFloat(table.Rows[1][3], 64)
+	if hit2LM <= 0 {
+		t.Error("2LM inference shows no cache hits")
+	}
+	if hitSW != 0 {
+		t.Errorf("software placement shows tag hits: %f", hitSW)
+	}
+	// The software placement must at least match 2LM performance —
+	// Bandana's actual claim is equal service at a fraction of the
+	// DRAM and NVRAM cost, not raw speed.
+	sp := table.Rows[3][6]
+	v, err := strconv.ParseFloat(sp[:len(sp)-1], 64)
+	if err != nil {
+		t.Fatalf("speedup cell %q: %v", sp, err)
+	}
+	if v < 0.95 {
+		t.Errorf("software training ran %.2fx of 2LM, want >= 0.95 (no regression)", v)
+	}
+	// 2LM training must write NVRAM (dirty evictions); software writes
+	// less.
+	w2LM, _ := strconv.Atoi(table.Rows[2][5])
+	wSW, _ := strconv.Atoi(table.Rows[3][5])
+	if w2LM == 0 {
+		t.Error("2LM training wrote no NVRAM")
+	}
+	if wSW >= w2LM {
+		t.Errorf("software NVRAM writes (%d) not below 2LM (%d)", wSW, w2LM)
+	}
+	// And total NVRAM traffic (the wear and amplification story) must
+	// be substantially lower under software management.
+	r2LM, _ := strconv.Atoi(table.Rows[2][4])
+	rSW, _ := strconv.Atoi(table.Rows[3][4])
+	if total2LM, totalSW := r2LM+w2LM, rSW+wSW; float64(totalSW) > 0.8*float64(total2LM) {
+		t.Errorf("software NVRAM traffic (%d) not well below 2LM (%d)", totalSW, total2LM)
+	}
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// testMicroConfig keeps simulated footprints small for the test suite.
+func testMicroConfig() MicroConfig {
+	return MicroConfig{
+		Scale:         16384,
+		Threads:       []int{1, 4, 8, 24},
+		Granularities: []int{64, 256},
+	}
+}
+
+func cell(t *testing.T, tab [][]string, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q: %v", row, col, tab[row][col], err)
+	}
+	return v
+}
+
+// TestFig2aAnchors: sequential read saturates near 30 GB/s by 8
+// threads; random never exceeds sequential.
+func TestFig2aAnchors(t *testing.T) {
+	table, err := Fig2a(testMicroConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := table.Rows
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	// Row order follows the thread sweep; column 1 is sequential.
+	seq8 := cell(t, rows, 2, 1)
+	seq24 := cell(t, rows, 3, 1)
+	if seq8 < 28 || seq8 > 32 {
+		t.Errorf("sequential read @8 threads = %.1f GB/s, want ~30", seq8)
+	}
+	if seq24 != seq8 {
+		t.Errorf("sequential read should be saturated: %.1f vs %.1f", seq24, seq8)
+	}
+	for r := range rows {
+		seq := cell(t, rows, r, 1)
+		for c := 2; c < 4; c++ {
+			if rnd := cell(t, rows, r, c); rnd > seq+0.01 {
+				t.Errorf("row %d col %d: random %.1f exceeds sequential %.1f", r, c, rnd, seq)
+			}
+		}
+	}
+}
+
+// TestFig2bAnchors: write bandwidth peaks near 11 GB/s at 4 threads;
+// random 64 B is several times lower (media write amplification).
+func TestFig2bAnchors(t *testing.T) {
+	table, err := Fig2b(testMicroConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := table.Rows
+	seq4 := cell(t, rows, 1, 1)
+	if seq4 < 9 || seq4 > 12 {
+		t.Errorf("sequential write @4 threads = %.1f GB/s, want ~10.6", seq4)
+	}
+	seq24 := cell(t, rows, 3, 1)
+	if seq24 >= seq4 {
+		t.Errorf("write bandwidth should decline past 4 threads: %.2f !< %.2f", seq24, seq4)
+	}
+	r64 := cell(t, rows, 1, 2)
+	r256 := cell(t, rows, 1, 3)
+	if ratio := r256 / r64; ratio < 2.5 {
+		t.Errorf("256B/64B random write ratio = %.2f, want >2.5", ratio)
+	}
+}
+
+// TestTable1MatchesPaper: the measured table must reproduce the
+// paper's Table I integers exactly.
+func TestTable1MatchesPaper(t *testing.T) {
+	table, err := Table1(testMicroConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][5]float64{
+		"LLC read hit":           {1, 0, 0, 0, 1},
+		"LLC read miss (clean)":  {1, 1, 1, 0, 3},
+		"LLC read miss (dirty)":  {1, 1, 1, 1, 4},
+		"LLC write hit":          {1, 1, 0, 0, 2},
+		"LLC write miss (clean)": {1, 2, 1, 0, 4},
+		"LLC write miss (dirty)": {1, 2, 1, 1, 5},
+		"LLC write (DDO)":        {0, 1, 0, 0, 1},
+	}
+	if len(table.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(table.Rows), len(want))
+	}
+	for r, row := range table.Rows {
+		exp, ok := want[row[0]]
+		if !ok {
+			t.Errorf("unexpected scenario %q", row[0])
+			continue
+		}
+		for i := 0; i < 5; i++ {
+			got := cell(t, table.Rows, r, i+1)
+			if diff := got - exp[i]; diff > 0.01 || diff < -0.01 {
+				t.Errorf("%s col %d = %.2f, want %.0f", row[0], i+1, got, exp[i])
+			}
+		}
+	}
+}
+
+// TestFig4aAnchors: 100%% clean misses, 3x amplification, sequential
+// effective ~23 GB/s (60-80%% of the 30 GB/s 1LM read peak).
+func TestFig4aAnchors(t *testing.T) {
+	_, rows, err := Fig4a(testMicroConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.HitRate != 0 {
+			t.Errorf("%s: hit rate %.3f, want 0", r.Mode, r.HitRate)
+		}
+		if r.Amplif < 2.99 || r.Amplif > 3.01 {
+			t.Errorf("%s: amplification %.2f, want 3", r.Mode, r.Amplif)
+		}
+		if r.NVRAMWrite != 0 {
+			t.Errorf("%s: clean misses wrote NVRAM at %.2f GB/s", r.Mode, r.NVRAMWrite)
+		}
+	}
+	seq := rows[0]
+	if seq.Effective < 21 || seq.Effective > 25 {
+		t.Errorf("sequential effective = %.1f GB/s, want ~23", seq.Effective)
+	}
+}
+
+// TestFig4bAnchors: 5x amplification, DRAM writes at twice the demand
+// rate, sequential effective ~8 GB/s (~72%% of the write peak).
+func TestFig4bAnchors(t *testing.T) {
+	_, rows, err := Fig4b(testMicroConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Amplif < 4.99 || r.Amplif > 5.01 {
+			t.Errorf("%s: amplification %.2f, want 5", r.Mode, r.Amplif)
+		}
+		if ratio := r.DRAMWrite / r.Effective; ratio < 1.99 || ratio > 2.01 {
+			t.Errorf("%s: DRAM-write/demand ratio %.2f, want 2 (the paper's extra insert write)", r.Mode, ratio)
+		}
+	}
+	seq := rows[0]
+	if seq.Effective < 7 || seq.Effective > 9 {
+		t.Errorf("sequential effective = %.1f GB/s, want ~8", seq.Effective)
+	}
+}
+
+// TestFig4cAnchors: every load is a dirty miss, every writeback a DDO,
+// and sequential achieves the highest NVRAM write bandwidth of any 2LM
+// benchmark (paper, Figure 4c caption).
+func TestFig4cAnchors(t *testing.T) {
+	_, rows, err := Fig4c(testMicroConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := rows[0]
+	if seq.HitRate < 0.49 || seq.HitRate > 0.51 {
+		t.Errorf("hit rate %.3f, want 0.5 (all writes DDO-hit, all reads miss)", seq.HitRate)
+	}
+	if seq.Amplif < 2.49 || seq.Amplif > 2.51 {
+		t.Errorf("amplification %.2f, want 2.5", seq.Amplif)
+	}
+	_, rows4b, err := Fig4b(testMicroConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.NVRAMWrite <= rows4b[0].NVRAMWrite {
+		t.Errorf("Fig4c sequential NVRAM write %.2f should exceed Fig4b's %.2f", seq.NVRAMWrite, rows4b[0].NVRAMWrite)
+	}
+}
+
+// Test2LMCeilingsBelow1LM: the headline claim — best-case 2LM read and
+// write bandwidths are well below the 1LM device peaks.
+func Test2LMCeilingsBelow1LM(t *testing.T) {
+	cfg := testMicroConfig()
+	_, rowsA, err := Fig4a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rowsB, err := Fig4b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best2LMRead, best2LMWrite := 0.0, 0.0
+	for _, r := range rowsA {
+		if r.Effective > best2LMRead {
+			best2LMRead = r.Effective
+		}
+	}
+	for _, r := range rowsB {
+		if r.Effective > best2LMWrite {
+			best2LMWrite = r.Effective
+		}
+	}
+	// Paper: 60-77% of 30 GB/s read, ~72% of 11 GB/s write.
+	if frac := best2LMRead / 30.6; frac < 0.6 || frac > 0.85 {
+		t.Errorf("2LM/1LM read fraction = %.2f, want ~0.75", frac)
+	}
+	if frac := best2LMWrite / 10.6; frac < 0.6 || frac > 0.85 {
+		t.Errorf("2LM/1LM write fraction = %.2f, want ~0.72", frac)
+	}
+}

@@ -1,0 +1,91 @@
+// Graph conversions — the in-simulator analog of the Galois
+// graph-converter the paper's inputs pass through ("Both were
+// processed using the provided graph-converter in Galois"): transpose
+// for pull-style algorithms, symmetrization for undirected kernels,
+// and degree statistics for input characterization.
+
+package graph
+
+import "sort"
+
+// Transpose returns the graph with every edge reversed (the in-edge
+// CSR pull-style algorithms need).
+func (g *Graph) Transpose() (*Graph, error) {
+	n := g.NumNodes()
+	src := make([]uint32, 0, g.NumEdges())
+	dst := make([]uint32, 0, g.NumEdges())
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(uint32(u)) {
+			src = append(src, v)
+			dst = append(dst, uint32(u))
+		}
+	}
+	return FromEdges(g.Name+"-T", n, src, dst)
+}
+
+// Undirected returns the symmetric closure: for every edge (u,v), both
+// (u,v) and (v,u) are present exactly once (duplicates and self-loops
+// collapse).
+func (g *Graph) Undirected() (*Graph, error) {
+	n := g.NumNodes()
+	type edge struct{ u, v uint32 }
+	seen := make(map[edge]bool, 2*g.NumEdges())
+	src := make([]uint32, 0, 2*g.NumEdges())
+	dst := make([]uint32, 0, 2*g.NumEdges())
+	add := func(u, v uint32) {
+		if u == v {
+			return
+		}
+		e := edge{u, v}
+		if seen[e] {
+			return
+		}
+		seen[e] = true
+		src = append(src, u)
+		dst = append(dst, v)
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(uint32(u)) {
+			add(uint32(u), v)
+			add(v, uint32(u))
+		}
+	}
+	return FromEdges(g.Name+"-sym", n, src, dst)
+}
+
+// DegreeStats summarizes an out-degree distribution.
+type DegreeStats struct {
+	Min, Max, Median int
+	Mean             float64
+	// P99 is the 99th-percentile out-degree; the gap between P99 and
+	// Max characterizes power-law inputs like the paper's.
+	P99 int
+	// Isolated counts nodes with no out-edges.
+	Isolated int
+}
+
+// Stats computes the out-degree distribution summary.
+func (g *Graph) Stats() DegreeStats {
+	n := g.NumNodes()
+	degs := make([]int, n)
+	var sum int
+	isolated := 0
+	for u := 0; u < n; u++ {
+		d := g.OutDegree(uint32(u))
+		degs[u] = d
+		sum += d
+		if d == 0 {
+			isolated++
+		}
+	}
+	sort.Ints(degs)
+	st := DegreeStats{
+		Min:      degs[0],
+		Max:      degs[n-1],
+		Median:   degs[n/2],
+		Mean:     float64(sum) / float64(n),
+		P99:      degs[n-1-n/100],
+		Isolated: isolated,
+	}
+	return st
+}

@@ -1,0 +1,127 @@
+package graph
+
+import "testing"
+
+func TestTranspose(t *testing.T) {
+	g, err := FromEdges("t", 4, []uint32{0, 0, 1, 3}, []uint32{1, 2, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := g.Transpose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d vs %d", gt.NumEdges(), g.NumEdges())
+	}
+	// Edge (0,1) becomes (1,0).
+	found := false
+	for _, v := range gt.Neighbors(1) {
+		if v == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("transposed edge (1,0) missing")
+	}
+	// Double transpose round-trips edge multiset sizes per node.
+	gtt, err := gt.Transpose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := uint32(0); u < 4; u++ {
+		if gtt.OutDegree(u) != g.OutDegree(u) {
+			t.Errorf("node %d degree changed after double transpose", u)
+		}
+	}
+}
+
+// TestTransposePreservesEdgeMultiset on a generated graph.
+func TestTransposeKron(t *testing.T) {
+	g, err := Kronecker(8, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := g.Transpose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.NumEdges() != g.NumEdges() {
+		t.Fatal("transpose changed edge count")
+	}
+	// In-degree of v in g == out-degree of v in gt.
+	indeg := make([]int, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(uint32(u)) {
+			indeg[v]++
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if gt.OutDegree(uint32(v)) != indeg[v] {
+			t.Fatalf("node %d: transpose out-degree %d != in-degree %d", v, gt.OutDegree(uint32(v)), indeg[v])
+		}
+	}
+}
+
+func TestUndirected(t *testing.T) {
+	g, err := FromEdges("u", 4, []uint32{0, 0, 1, 2, 2}, []uint32{1, 1, 0, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := g.Undirected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0,1) duplicated and reciprocated collapses to one each way;
+	// self-loop (2,2) drops; (2,3) gains (3,2).
+	if sym.NumEdges() != 4 {
+		t.Fatalf("symmetric edges = %d, want 4", sym.NumEdges())
+	}
+	for _, pair := range [][2]uint32{{0, 1}, {1, 0}, {2, 3}, {3, 2}} {
+		found := false
+		for _, v := range sym.Neighbors(pair[0]) {
+			if v == pair[1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("edge (%d,%d) missing", pair[0], pair[1])
+		}
+	}
+	// Symmetry property: u in N(v) iff v in N(u).
+	for u := uint32(0); u < 4; u++ {
+		for _, v := range sym.Neighbors(u) {
+			back := false
+			for _, w := range sym.Neighbors(v) {
+				if w == u {
+					back = true
+				}
+			}
+			if !back {
+				t.Errorf("asymmetric edge (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	g, err := Kronecker(10, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Mean < 7.9 || st.Mean > 8.1 {
+		t.Errorf("mean degree = %.2f, want ~8", st.Mean)
+	}
+	if st.Max < st.P99 || st.P99 < st.Median || st.Median < st.Min {
+		t.Errorf("degree quantiles out of order: %+v", st)
+	}
+	// R-MAT graphs are skewed: the max far exceeds the median, and
+	// isolated nodes exist.
+	if st.Max < 4*st.Median+4 {
+		t.Errorf("max %d not skewed vs median %d", st.Max, st.Median)
+	}
+	if st.Isolated == 0 {
+		t.Error("R-MAT at this density should leave isolated nodes")
+	}
+}

@@ -1,0 +1,323 @@
+// Package imc models the integrated memory controller of a Cascade Lake
+// socket operating in 2LM ("memory mode"): DRAM as a transparent,
+// hardware-managed, direct-mapped cache in front of NVRAM.
+//
+// The controller implements exactly the decision flow the paper reverse
+// engineers (Figure 3) and generates exactly the per-request DRAM and
+// NVRAM transactions of Table I:
+//
+//	                LLC Read            LLC Write
+//	             Hit  MissC MissD   Hit  MissC MissD  DDO
+//	DRAM Read     1     1     1      1     1     1     -
+//	DRAM Write    -     1     1      1     2     2     1
+//	NVRAM Read    -     1     1      -     1     1     -
+//	NVRAM Write   -     -     1      -     -     1     -
+//	Amplification 1     3     4      2     4     5     1
+//
+// Key behaviors:
+//
+//   - Tags live in the DRAM ECC bits, so every DRAM data read returns
+//     the tag for free, but a write requires a preceding read purely for
+//     the tag check.
+//   - The controller always inserts on a miss, even a write miss whose
+//     incoming line fully overwrites the fetched data (the paper's
+//     "best guess" for the observed second DRAM write; Section IV-B).
+//   - Dirty victims are written back to NVRAM by the miss handler.
+//   - Dirty Data Optimization (DDO): an LLC writeback of a line that the
+//     on-chip hierarchy acquired from this controller (and whose set has
+//     not been re-allocated since) skips the tag check and goes straight
+//     to DRAM. The paper observes the effect but not the mechanism
+//     (Section IV-C); tracking LLC ownership reproduces the observed
+//     traffic: read-modify-write with standard stores gets DDO, while
+//     nontemporal store streams do not.
+package imc
+
+import (
+	"fmt"
+
+	"twolm/internal/cache"
+	"twolm/internal/dram"
+	"twolm/internal/nvram"
+)
+
+// Counters are the uncore performance-counter events the controller
+// exposes, in 64 B line units, matching the taxonomy of the paper's
+// Section III-B (CAS counts, PMM read/write requests, 2LM tag events).
+type Counters struct {
+	DRAMRead   uint64 // DRAM CAS reads
+	DRAMWrite  uint64 // DRAM CAS writes
+	NVRAMRead  uint64 // NVRAM read requests
+	NVRAMWrite uint64 // NVRAM write requests
+
+	TagHit       uint64 // 2LM tag hit
+	TagMissClean uint64 // 2LM tag miss, clean victim
+	TagMissDirty uint64 // 2LM tag miss, dirty victim
+
+	DDO uint64 // writes forwarded via the Dirty Data Optimization
+
+	LLCRead  uint64 // demand requests from the LLC (loads + RFOs)
+	LLCWrite uint64 // writebacks / nontemporal stores from the LLC
+}
+
+// Add returns c with other added field-wise.
+func (c Counters) Add(other Counters) Counters {
+	c.DRAMRead += other.DRAMRead
+	c.DRAMWrite += other.DRAMWrite
+	c.NVRAMRead += other.NVRAMRead
+	c.NVRAMWrite += other.NVRAMWrite
+	c.TagHit += other.TagHit
+	c.TagMissClean += other.TagMissClean
+	c.TagMissDirty += other.TagMissDirty
+	c.DDO += other.DDO
+	c.LLCRead += other.LLCRead
+	c.LLCWrite += other.LLCWrite
+	return c
+}
+
+// Sub returns c minus other field-wise; used for interval deltas.
+func (c Counters) Sub(other Counters) Counters {
+	c.DRAMRead -= other.DRAMRead
+	c.DRAMWrite -= other.DRAMWrite
+	c.NVRAMRead -= other.NVRAMRead
+	c.NVRAMWrite -= other.NVRAMWrite
+	c.TagHit -= other.TagHit
+	c.TagMissClean -= other.TagMissClean
+	c.TagMissDirty -= other.TagMissDirty
+	c.DDO -= other.DDO
+	c.LLCRead -= other.LLCRead
+	c.LLCWrite -= other.LLCWrite
+	return c
+}
+
+// Demand returns the number of demand (LLC-originated) requests.
+func (c Counters) Demand() uint64 { return c.LLCRead + c.LLCWrite }
+
+// MemoryAccesses returns all DRAM + NVRAM transactions generated.
+func (c Counters) MemoryAccesses() uint64 {
+	return c.DRAMRead + c.DRAMWrite + c.NVRAMRead + c.NVRAMWrite
+}
+
+// Amplification returns memory accesses per demand request — the
+// paper's "access amplification" metric (Lowe-Power 2017).
+func (c Counters) Amplification() float64 {
+	d := c.Demand()
+	if d == 0 {
+		return 0
+	}
+	return float64(c.MemoryAccesses()) / float64(d)
+}
+
+// TagAccesses returns the total tag events (hits + misses).
+func (c Counters) TagAccesses() uint64 {
+	return c.TagHit + c.TagMissClean + c.TagMissDirty
+}
+
+// HitRate returns TagHit / tag accesses, or 0 with no accesses.
+func (c Counters) HitRate() float64 {
+	t := c.TagAccesses()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TagHit) / float64(t)
+}
+
+// String renders the counters compactly for logs and reports.
+func (c Counters) String() string {
+	return fmt.Sprintf(
+		"dramR=%d dramW=%d nvR=%d nvW=%d hit=%d missC=%d missD=%d ddo=%d llcR=%d llcW=%d",
+		c.DRAMRead, c.DRAMWrite, c.NVRAMRead, c.NVRAMWrite,
+		c.TagHit, c.TagMissClean, c.TagMissDirty, c.DDO, c.LLCRead, c.LLCWrite)
+}
+
+// Policy configures the controller's allocation behavior. The real
+// hardware always inserts on a miss for both reads and writes; the
+// alternatives exist for the ablation experiments exploring the
+// future-hardware fixes the paper's discussion suggests.
+type Policy struct {
+	// Ways is the DRAM cache associativity (hardware: 1).
+	Ways int
+	// WriteAllocate inserts the line on a write miss (hardware: true).
+	// When false, write misses go straight to NVRAM after the tag
+	// check, leaving the cache untouched ("write-around").
+	WriteAllocate bool
+	// ReadAllocate inserts the line on a read miss (hardware: true).
+	// When false, read misses are forwarded from NVRAM uncached.
+	ReadAllocate bool
+	// DisableDDO turns the Dirty Data Optimization off.
+	DisableDDO bool
+}
+
+// HardwarePolicy returns the Cascade Lake behavior the paper measures.
+func HardwarePolicy() Policy {
+	return Policy{Ways: 1, WriteAllocate: true, ReadAllocate: true}
+}
+
+// Controller is a 2LM memory controller: the DRAM cache metadata plus
+// the backing DRAM and NVRAM modules and the event counters.
+type Controller struct {
+	Cache *cache.Assoc
+	DRAM  *dram.Module
+	NVRAM *nvram.Module
+
+	// DisableDDO turns the Dirty Data Optimization off, for ablation
+	// studies of the mechanism the paper could not pin down.
+	DisableDDO bool
+
+	policy   Policy
+	counters Counters
+}
+
+// New assembles a controller with the hardware policy. The DRAM
+// module's capacity fixes the cache size; NVRAM backs the full address
+// space.
+func New(dramMod *dram.Module, nvramMod *nvram.Module) (*Controller, error) {
+	return NewWithPolicy(dramMod, nvramMod, HardwarePolicy())
+}
+
+// NewWithPolicy assembles a controller with an explicit policy.
+func NewWithPolicy(dramMod *dram.Module, nvramMod *nvram.Module, policy Policy) (*Controller, error) {
+	if policy.Ways < 1 {
+		policy.Ways = 1
+	}
+	dc, err := cache.NewAssoc(dramMod.Capacity(), policy.Ways)
+	if err != nil {
+		return nil, fmt.Errorf("imc: %w", err)
+	}
+	return &Controller{
+		Cache:      dc,
+		DRAM:       dramMod,
+		NVRAM:      nvramMod,
+		DisableDDO: policy.DisableDDO,
+		policy:     policy,
+	}, nil
+}
+
+// Policy returns the controller's configured policy.
+func (c *Controller) Policy() Policy { return c.policy }
+
+// Counters returns a snapshot of the event counters.
+func (c *Controller) Counters() Counters { return c.counters }
+
+// ResetCounters zeroes the event counters without touching cache state,
+// mirroring how the paper primes the cache and then measures.
+func (c *Controller) ResetCounters() {
+	c.counters = Counters{}
+	c.DRAM.Reset()
+	c.NVRAM.Reset()
+}
+
+// countMiss records the miss classification and writes back a dirty
+// victim at h.
+func (c *Controller) countMiss(h uint64, res cache.LookupResult) {
+	if res == cache.MissDirty {
+		c.counters.TagMissDirty++
+		if victim, ok := c.Cache.VictimAddr(h); ok {
+			c.counters.NVRAMWrite++
+			c.NVRAM.Write(victim)
+		}
+	} else {
+		c.counters.TagMissClean++
+	}
+}
+
+// missHandler implements the shared miss path of Figure 3: write back
+// the victim if dirty, fetch the requested line from NVRAM, and insert
+// it into the DRAM cache.
+func (c *Controller) missHandler(addr, h uint64, res cache.LookupResult) {
+	c.countMiss(h, res)
+	// Fetch the requested line from NVRAM...
+	c.counters.NVRAMRead++
+	c.NVRAM.Read(addr)
+	// ...and insert it into the cache (always insert on miss).
+	c.counters.DRAMWrite++
+	c.DRAM.Write(addr)
+	c.Cache.Install(h, addr)
+}
+
+// LLCRead services a demand request from the LLC: a load miss or an RFO
+// for a store. The data (and its ECC tag) is read from DRAM; on a tag
+// miss the miss handler fills from NVRAM.
+func (c *Controller) LLCRead(addr uint64) cache.LookupResult {
+	c.counters.LLCRead++
+	h, res := c.Cache.Probe(addr)
+
+	// DRAM read: fetch tag and data together.
+	c.counters.DRAMRead++
+	c.DRAM.Read(addr)
+
+	switch {
+	case res == cache.Hit:
+		c.counters.TagHit++
+	case !c.policy.ReadAllocate:
+		// Ablation: forward from NVRAM without caching. No victim is
+		// disturbed, so the miss counts as clean.
+		c.counters.TagMissClean++
+		c.counters.NVRAMRead++
+		c.NVRAM.Read(addr)
+		return res
+	default:
+		c.missHandler(addr, h, res)
+	}
+	// The hierarchy now holds this line; its eventual writeback can use
+	// the Dirty Data Optimization.
+	c.Cache.SetLLCOwned(h, true)
+	return res
+}
+
+// LLCWrite services a writeback from the LLC — either the eviction of a
+// dirty line or a nontemporal store. Returns the tag-check result, or
+// Hit with ddo=true when the Dirty Data Optimization elided the check.
+func (c *Controller) LLCWrite(addr uint64) (res cache.LookupResult, ddo bool) {
+	c.counters.LLCWrite++
+	h, res := c.Cache.Probe(addr)
+
+	if !c.DisableDDO && res == cache.Hit && c.Cache.LLCOwned(h) {
+		// DDO: the controller knows the LLC owns this exact line, so
+		// the tag check is unnecessary — forward the write to DRAM.
+		c.counters.DDO++
+		c.counters.TagHit++
+		c.counters.DRAMWrite++
+		c.DRAM.Write(addr)
+		c.Cache.MarkDirty(h)
+		c.Cache.SetLLCOwned(h, false)
+		return res, true
+	}
+
+	// DRAM read purely for the tag check.
+	c.counters.DRAMRead++
+	c.DRAM.Read(addr)
+
+	switch {
+	case res == cache.Hit:
+		c.counters.TagHit++
+	case !c.policy.WriteAllocate:
+		// Ablation: write-around. The line goes straight to NVRAM and
+		// the cache (including any victim) is left alone.
+		c.counters.TagMissClean++
+		c.counters.NVRAMWrite++
+		c.NVRAM.Write(addr)
+		return res, false
+	default:
+		// Insert-on-miss, even for a full-line write: the miss handler
+		// fetches the line from NVRAM and installs it first.
+		c.missHandler(addr, h, res)
+	}
+
+	// The actual write of the incoming line.
+	c.counters.DRAMWrite++
+	c.DRAM.Write(addr)
+	c.Cache.MarkDirty(h)
+	c.Cache.SetLLCOwned(h, false)
+	return res, false
+}
+
+// FlushAll writes every dirty line back to NVRAM and invalidates the
+// cache, modeling an ADR-style flush or mode transition. Counter events
+// are recorded for the writebacks. O(lines).
+func (c *Controller) FlushAll() {
+	c.Cache.ForEachDirty(func(addr uint64) {
+		c.counters.NVRAMWrite++
+		c.NVRAM.Write(addr)
+	})
+	c.Cache.Reset()
+}

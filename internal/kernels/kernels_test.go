@@ -1,0 +1,269 @@
+package kernels
+
+import (
+	"testing"
+
+	"twolm/internal/core"
+	"twolm/internal/mem"
+	"twolm/internal/platform"
+)
+
+func newSystem(t *testing.T, mode core.Mode) *core.System {
+	t.Helper()
+	sys, err := core.New(core.Config{
+		Platform: platform.Config{
+			Sockets:           1,
+			ChannelsPerSocket: 6,
+			DRAMPerChannel:    mem.MiB,
+			NVRAMPerChannel:   64 * mem.MiB,
+			Scale:             1,
+			Threads:           24,
+		},
+		Mode:     mode,
+		LLCBytes: 16 * mem.KiB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func alloc(t *testing.T, sys *core.System, size uint64) mem.Region {
+	t.Helper()
+	r, err := sys.AddressSpace().Alloc(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{Granularity: 96}).Validate(); err == nil {
+		t.Error("non-line-multiple granularity accepted")
+	}
+	if err := (Spec{Pattern: mem.InterleavedSeq}).Validate(); err == nil {
+		t.Error("InterleavedSeq accepted as a kernel pattern")
+	}
+	if err := (Spec{Op: ReadOnly, Pattern: mem.Random, Granularity: 256}).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestSpecName(t *testing.T) {
+	s := Spec{Op: WriteOnly, Pattern: mem.Random, Granularity: 256, Store: Nontemporal, Threads: 8}
+	if got := s.Name(); got != "write-rand-256B-8t-nt" {
+		t.Errorf("Name = %q", got)
+	}
+	r := Spec{Op: ReadOnly, Pattern: mem.Sequential, Threads: 4}
+	if got := r.Name(); got != "read-seq-64B-4t" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestRunRejectsBadRegion(t *testing.T) {
+	sys := newSystem(t, core.Mode2LM)
+	if _, err := Run(sys, mem.Region{}, Spec{Op: ReadOnly}); err == nil {
+		t.Error("empty region accepted")
+	}
+	if _, err := Run(sys, mem.Region{Base: 0, Size: 100}, Spec{Op: ReadOnly}); err == nil {
+		t.Error("unaligned region accepted")
+	}
+}
+
+// TestReadOnlyTouchesEveryLineOnce holds for both iteration orders.
+func TestReadOnlyTouchesEveryLineOnce(t *testing.T) {
+	for _, pattern := range []mem.Pattern{mem.Sequential, mem.Random} {
+		sys := newSystem(t, core.Mode2LM)
+		region := alloc(t, sys, mem.MiB)
+		res, err := Run(sys, region, Spec{Op: ReadOnly, Pattern: pattern, Threads: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delta.LLCRead != region.Lines() {
+			t.Errorf("%v: LLC reads = %d, want %d", pattern, res.Delta.LLCRead, region.Lines())
+		}
+		if res.Demand != region.Size {
+			t.Errorf("%v: demand = %d, want %d", pattern, res.Demand, region.Size)
+		}
+	}
+}
+
+// TestRandomGranularityClusters: a 256 B random element touches 4
+// consecutive lines.
+func TestRandomGranularityClusters(t *testing.T) {
+	sys := newSystem(t, core.Mode2LM)
+	region := alloc(t, sys, mem.MiB)
+	res, err := Run(sys, region, Spec{Op: ReadOnly, Pattern: mem.Random, Granularity: 256, Threads: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta.LLCRead != region.Lines() {
+		t.Errorf("LLC reads = %d, want %d (every line exactly once)", res.Delta.LLCRead, region.Lines())
+	}
+}
+
+// TestWriteOnlyNT: every line becomes an LLC write with no RFO.
+func TestWriteOnlyNT(t *testing.T) {
+	sys := newSystem(t, core.Mode2LM)
+	region := alloc(t, sys, mem.MiB)
+	res, err := Run(sys, region, Spec{Op: WriteOnly, Store: Nontemporal, Threads: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta.LLCWrite != region.Lines() || res.Delta.LLCRead != 0 {
+		t.Errorf("NT write-only: llcW=%d llcR=%d, want %d/0", res.Delta.LLCWrite, res.Delta.LLCRead, region.Lines())
+	}
+}
+
+// TestWriteOnlyStandard: RFO per line plus a drained writeback.
+func TestWriteOnlyStandard(t *testing.T) {
+	sys := newSystem(t, core.Mode2LM)
+	region := alloc(t, sys, mem.MiB)
+	res, err := Run(sys, region, Spec{Op: WriteOnly, Store: Standard, Threads: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta.LLCRead != region.Lines() {
+		t.Errorf("standard write-only RFOs = %d, want %d", res.Delta.LLCRead, region.Lines())
+	}
+	if res.Delta.LLCWrite != region.Lines() {
+		t.Errorf("standard write-only writebacks = %d, want %d", res.Delta.LLCWrite, region.Lines())
+	}
+}
+
+// TestRMWNontemporal: loads plus NT stores, no RFO reuse.
+func TestRMWNontemporal(t *testing.T) {
+	sys := newSystem(t, core.Mode2LM)
+	region := alloc(t, sys, mem.MiB)
+	res, err := Run(sys, region, Spec{Op: ReadModifyWrite, Store: Nontemporal, Threads: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta.LLCRead != region.Lines() || res.Delta.LLCWrite != region.Lines() {
+		t.Errorf("NT RMW: llcR=%d llcW=%d, want %d each", res.Delta.LLCRead, res.Delta.LLCWrite, region.Lines())
+	}
+}
+
+// TestIterationsRepeatDeterministically: two passes double the demand
+// and, over an over-capacity array, keep a 100% miss rate (the paper's
+// deterministic rerun methodology).
+func TestIterationsRepeatDeterministically(t *testing.T) {
+	sys := newSystem(t, core.Mode2LM)
+	region := alloc(t, sys, 4*sys.Platform().DRAMSize())
+	res, err := Run(sys, region, Spec{Op: ReadOnly, Pattern: mem.Random, Iterations: 2, Threads: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta.LLCRead != 2*region.Lines() {
+		t.Errorf("2 iterations LLC reads = %d, want %d", res.Delta.LLCRead, 2*region.Lines())
+	}
+	// Second pass must also be all misses thanks to the fixed seed.
+	if hr := res.Delta.HitRate(); hr > 0.01 {
+		t.Errorf("over-capacity rerun hit rate = %.3f, want ~0", hr)
+	}
+}
+
+// TestPrimeFor: after a dirty prime, a read pass sees dirty misses.
+func TestPrimeForDirty(t *testing.T) {
+	sys := newSystem(t, core.Mode2LM)
+	region := alloc(t, sys, 4*sys.Platform().DRAMSize())
+	spec := Spec{Op: ReadOnly, Pattern: mem.Random, Threads: 24}
+	if err := PrimeFor(sys, region, spec, true); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Counters().Demand() != 0 {
+		t.Fatal("PrimeFor did not reset statistics")
+	}
+	res, err := Run(sys, region, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta.TagMissDirty == 0 {
+		t.Error("no dirty misses after dirty prime")
+	}
+	if res.Delta.TagHit != 0 {
+		t.Errorf("hits after over-capacity prime: %d", res.Delta.TagHit)
+	}
+}
+
+// TestPrimeCleanThenReadHits: a fitting array primed clean reads back
+// with a 100% hit rate and amplification 1 (Table I read-hit row).
+func TestPrimeCleanThenReadHits(t *testing.T) {
+	sys := newSystem(t, core.Mode2LM)
+	region := alloc(t, sys, sys.Platform().DRAMSize()/4)
+	PrimeClean(sys, region)
+	res, err := Run(sys, region, Spec{Op: ReadOnly, Threads: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr := res.Delta.HitRate(); hr != 1 {
+		t.Errorf("hit rate = %.3f, want 1", hr)
+	}
+	if amp := res.Delta.Amplification(); amp != 1 {
+		t.Errorf("amplification = %.2f, want 1", amp)
+	}
+}
+
+// TestPrimeDirtyThenNTWriteHits: Table I write-hit row — amp 2.
+func TestPrimeDirtyThenNTWriteHits(t *testing.T) {
+	sys := newSystem(t, core.Mode2LM)
+	region := alloc(t, sys, sys.Platform().DRAMSize()/4)
+	PrimeDirty(sys, region)
+	res, err := Run(sys, region, Spec{Op: WriteOnly, Store: Nontemporal, Threads: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amp := res.Delta.Amplification(); amp != 2 {
+		t.Errorf("write-hit amplification = %.2f, want 2", amp)
+	}
+}
+
+// TestEffectiveBWPositive and device bandwidth accessors.
+func TestResultBandwidths(t *testing.T) {
+	sys := newSystem(t, core.Mode2LM)
+	region := alloc(t, sys, mem.MiB)
+	res, err := Run(sys, region, Spec{Op: ReadOnly, Threads: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EffectiveBW() <= 0 || res.DRAMReadBW() <= 0 {
+		t.Error("bandwidths should be positive")
+	}
+	if (Result{}).EffectiveBW() != 0 {
+		t.Error("zero result should report 0 bandwidth")
+	}
+	if (Result{}).DRAMReadBW() != 0 {
+		t.Error("zero result should report 0 device bandwidth")
+	}
+}
+
+func TestOpAndStoreStrings(t *testing.T) {
+	if ReadOnly.String() != "read" || WriteOnly.String() != "write" || ReadModifyWrite.String() != "rmw" {
+		t.Error("unexpected Op strings")
+	}
+	if Op(9).String() == "" {
+		t.Error("unknown Op should render")
+	}
+	if Standard.String() != "standard" || Nontemporal.String() != "nontemporal" {
+		t.Error("unexpected StoreType strings")
+	}
+}
+
+// Test1LMKernel: kernels drive app-direct systems identically.
+func Test1LMKernel(t *testing.T) {
+	sys := newSystem(t, core.Mode1LM)
+	region, err := sys.AddressSpace().AllocNVRAM(mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sys, region, Spec{Op: ReadOnly, Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta.NVRAMRead != region.Lines() {
+		t.Errorf("1LM NVRAM reads = %d, want %d", res.Delta.NVRAMRead, region.Lines())
+	}
+	if res.Delta.DRAMRead != 0 {
+		t.Errorf("1LM NVRAM kernel touched DRAM: %d", res.Delta.DRAMRead)
+	}
+}

@@ -1,0 +1,162 @@
+// Package lfsr implements maximum-length Galois linear feedback shift
+// registers.
+//
+// The paper's benchmark generator (KernelBenchmarks.jl) uses a
+// maximum-length LFSR to iterate pseudo-randomly over an array while
+// touching every index exactly once — a property ordinary PRNG shuffles
+// only get with O(n) extra memory. A maximum-length LFSR over w bits
+// visits every value in [1, 2^w-1] exactly once before repeating; the
+// generator maps that cycle (plus an explicit zero) onto array indices.
+package lfsr
+
+import "fmt"
+
+// taps holds feedback masks producing maximum-length sequences for
+// register widths 2..32. Taps are from the standard Xilinx/maximal-LFSR
+// tables, expressed as Galois feedback masks (bit i set means tap at
+// position i+1).
+var taps = [33]uint32{
+	2:  0x3,
+	3:  0x6,
+	4:  0xC,
+	5:  0x14,
+	6:  0x30,
+	7:  0x60,
+	8:  0xB8,
+	9:  0x110,
+	10: 0x240,
+	11: 0x500,
+	12: 0xE08,
+	13: 0x1C80,
+	14: 0x3802,
+	15: 0x6000,
+	16: 0xD008,
+	17: 0x12000,
+	18: 0x20400,
+	19: 0x72000,
+	20: 0x90000,
+	21: 0x140000,
+	22: 0x300000,
+	23: 0x420000,
+	24: 0xE10000,
+	25: 0x1200000,
+	26: 0x3880000,
+	27: 0x7200000,
+	28: 0x9000000,
+	29: 0x14000000,
+	30: 0x32800000,
+	31: 0x48000000,
+	32: 0xA3000000,
+}
+
+// MinWidth and MaxWidth bound the supported register widths.
+const (
+	MinWidth = 2
+	MaxWidth = 32
+)
+
+// LFSR is a maximum-length Galois LFSR over a fixed width. The zero
+// value is not usable; construct with New.
+type LFSR struct {
+	state uint32
+	mask  uint32
+	width uint
+}
+
+// New returns an LFSR of the given width (2..32) seeded with seed.
+// The seed is folded into the register's nonzero state space.
+func New(width uint, seed uint32) (*LFSR, error) {
+	if width < MinWidth || width > MaxWidth {
+		return nil, fmt.Errorf("lfsr: width %d out of range [%d, %d]", width, MinWidth, MaxWidth)
+	}
+	l := &LFSR{mask: taps[width], width: width}
+	l.Seed(seed)
+	return l, nil
+}
+
+// Seed resets the register state derived from seed; state zero (the
+// LFSR's fixed point) is avoided.
+func (l *LFSR) Seed(seed uint32) {
+	s := seed
+	if l.width < 32 {
+		s &= (1 << l.width) - 1
+	}
+	if s == 0 {
+		s = 1
+	}
+	l.state = s
+}
+
+// Width returns the register width in bits.
+func (l *LFSR) Width() uint { return l.width }
+
+// State returns the current register contents.
+func (l *LFSR) State() uint32 { return l.state }
+
+// Next advances the register one step and returns the new state. The
+// returned values cycle through every nonzero width-bit value exactly
+// once per period.
+func (l *LFSR) Next() uint32 {
+	lsb := l.state & 1
+	l.state >>= 1
+	if lsb != 0 {
+		l.state ^= l.mask
+	}
+	return l.state
+}
+
+// Period returns the sequence period, 2^width - 1.
+func (l *LFSR) Period() uint64 {
+	return (uint64(1) << l.width) - 1
+}
+
+// WidthFor returns the smallest supported register width whose period
+// covers at least n values, i.e. 2^w - 1 >= n.
+func WidthFor(n uint64) (uint, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("lfsr: WidthFor(0)")
+	}
+	for w := uint(MinWidth); w <= MaxWidth; w++ {
+		if (uint64(1)<<w)-1 >= n {
+			return w, nil
+		}
+	}
+	return 0, fmt.Errorf("lfsr: %d exceeds maximum period", n)
+}
+
+// Sequence visits every index in [0, n) exactly once in pseudo-random
+// order, calling fn for each. It uses the smallest LFSR covering n and
+// skips out-of-range states (at most half of the steps are skipped, by
+// choice of width). Index 0, which the LFSR cannot produce, is visited
+// first.
+func Sequence(n uint64, seed uint32, fn func(idx uint64)) error {
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		fn(0)
+		return nil
+	}
+	w, err := WidthFor(n - 1)
+	if err != nil {
+		return err
+	}
+	l, err := New(w, seed)
+	if err != nil {
+		return err
+	}
+	fn(0)
+	emitted := uint64(1)
+	period := l.Period()
+	for i := uint64(0); i < period && emitted < n; i++ {
+		v := uint64(l.Next())
+		if v < n {
+			fn(v)
+			emitted++
+		}
+	}
+	if emitted != n {
+		return fmt.Errorf("lfsr: sequence emitted %d of %d indices", emitted, n)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package lfsr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestMaximumLength verifies that every supported width produces a
+// maximum-length sequence: period 2^w - 1 with no repeated states.
+func TestMaximumLength(t *testing.T) {
+	for w := uint(MinWidth); w <= 20; w++ { // exhaustive up to 2^20
+		l, err := New(w, 1)
+		if err != nil {
+			t.Fatalf("New(%d): %v", w, err)
+		}
+		period := l.Period()
+		seen := make([]bool, period+1)
+		for i := uint64(0); i < period; i++ {
+			v := l.Next()
+			if v == 0 {
+				t.Fatalf("width %d: state reached 0 at step %d", w, i)
+			}
+			if uint64(v) > period {
+				t.Fatalf("width %d: state %d out of range", w, v)
+			}
+			if seen[v] {
+				t.Fatalf("width %d: state %d repeated before period at step %d", w, v, i)
+			}
+			seen[v] = true
+		}
+		if l.State() != 1 {
+			// After exactly one period the register returns to its seed.
+			t.Fatalf("width %d: state after full period = %d, want seed 1", w, l.State())
+		}
+	}
+}
+
+// TestLargerWidthsCycleBack spot-checks that wide registers return to
+// the seed only after visiting many distinct states (we cannot afford
+// the full 2^32 period, so check a prefix for collisions).
+func TestLargerWidthsNoEarlyRepeat(t *testing.T) {
+	for _, w := range []uint{24, 28, 32} {
+		l, err := New(w, 12345)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := l.State()
+		const steps = 1 << 16
+		for i := 0; i < steps; i++ {
+			if l.Next() == seed {
+				t.Fatalf("width %d: returned to seed after only %d steps", w, i+1)
+			}
+		}
+	}
+}
+
+func TestNewRejectsBadWidth(t *testing.T) {
+	for _, w := range []uint{0, 1, 33, 64} {
+		if _, err := New(w, 1); err == nil {
+			t.Errorf("New(%d) accepted an out-of-range width", w)
+		}
+	}
+}
+
+func TestSeedAvoidsZero(t *testing.T) {
+	l, err := New(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.State() == 0 {
+		t.Fatal("seed 0 left the register in its fixed point")
+	}
+	l.Seed(256) // 256 & 0xff == 0
+	if l.State() == 0 {
+		t.Fatal("masked seed left the register at 0")
+	}
+}
+
+func TestWidthFor(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want uint
+	}{
+		{1, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1 << 20, 21},
+	}
+	for _, c := range cases {
+		got, err := WidthFor(c.n)
+		if err != nil {
+			t.Fatalf("WidthFor(%d): %v", c.n, err)
+		}
+		if got != c.want {
+			t.Errorf("WidthFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	if _, err := WidthFor(0); err == nil {
+		t.Error("WidthFor(0) should error")
+	}
+	if _, err := WidthFor(1 << 40); err == nil {
+		t.Error("WidthFor(2^40) should exceed the maximum period")
+	}
+}
+
+// TestSequenceVisitsEachOnce is the core property the paper relies on:
+// pseudo-random iteration touching every index exactly once.
+func TestSequenceVisitsEachOnce(t *testing.T) {
+	for _, n := range []uint64{0, 1, 2, 3, 5, 64, 100, 1024, 4099} {
+		seen := make(map[uint64]int)
+		var order []uint64
+		if err := Sequence(n, 7, func(i uint64) {
+			seen[i]++
+			order = append(order, i)
+		}); err != nil {
+			t.Fatalf("Sequence(%d): %v", n, err)
+		}
+		if uint64(len(seen)) != n {
+			t.Fatalf("Sequence(%d) visited %d distinct indices", n, len(seen))
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("Sequence(%d): index %d visited %d times", n, i, c)
+			}
+			if i >= n {
+				t.Fatalf("Sequence(%d): index %d out of range", n, i)
+			}
+		}
+	}
+}
+
+// TestSequenceIsPermutationProperty checks the permutation property on
+// random sizes with testing/quick.
+func TestSequenceIsPermutationProperty(t *testing.T) {
+	f := func(nRaw uint16, seed uint32) bool {
+		n := uint64(nRaw%5000) + 1
+		seen := make([]bool, n)
+		count := uint64(0)
+		if err := Sequence(n, seed, func(i uint64) {
+			if i >= n || seen[i] {
+				return
+			}
+			seen[i] = true
+			count++
+		}); err != nil {
+			return false
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSequenceNotSequential sanity-checks that the order is actually
+// shuffled rather than ascending.
+func TestSequenceNotSequential(t *testing.T) {
+	var order []uint64
+	if err := Sequence(1024, 99, func(i uint64) { order = append(order, i) }); err != nil {
+		t.Fatal(err)
+	}
+	ascending := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] == order[i-1]+1 {
+			ascending++
+		}
+	}
+	if ascending > len(order)/10 {
+		t.Fatalf("order looks sequential: %d/%d ascending steps", ascending, len(order))
+	}
+}
+
+func BenchmarkNext(b *testing.B) {
+	l, _ := New(32, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Next()
+	}
+}

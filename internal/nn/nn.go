@@ -1,0 +1,436 @@
+// Package nn is the compute-graph substrate for the paper's CNN case
+// study: a miniature ngraph. It builds *training programs* — linear
+// schedules of forward and backward kernels over tensor descriptors —
+// for the three networks the paper evaluates (Inception v4, ResNet 200,
+// DenseNet 264).
+//
+// A Program records, for every kernel, which tensors it reads and
+// writes and how many floating-point operations it performs. That is
+// exactly the information the memory-system study needs: tensor sizes
+// and lifetimes determine DRAM-cache behavior, and FLOPs determine how
+// much compute time can hide memory traffic. Values are never
+// materialized.
+//
+// Backward kernels are generated automatically from a forward tape,
+// mirroring backpropagation's defining memory property: intermediate
+// activations produced in the forward pass are *kept live* until their
+// consuming backward kernel runs (the paper's Figure 5d).
+package nn
+
+import (
+	"fmt"
+
+	"twolm/internal/tensor"
+)
+
+// TensorKind classifies a program tensor.
+type TensorKind uint8
+
+const (
+	// Activation tensors are produced and consumed by kernels; their
+	// lifetimes drive the heap behavior the paper studies.
+	Activation TensorKind = iota
+	// Weight tensors are network parameters: live for the whole
+	// program.
+	Weight
+	// Gradient tensors are backward-pass products.
+	Gradient
+)
+
+// String implements fmt.Stringer.
+func (k TensorKind) String() string {
+	switch k {
+	case Weight:
+		return "weight"
+	case Gradient:
+		return "gradient"
+	default:
+		return "activation"
+	}
+}
+
+// TensorDef describes one program tensor.
+type TensorDef struct {
+	ID    int
+	Name  string
+	Kind  TensorKind
+	Shape tensor.Shape
+	DType tensor.DType
+}
+
+// Bytes returns the tensor size in bytes.
+func (t TensorDef) Bytes() uint64 { return t.Shape.Bytes(t.DType) }
+
+// Kernel is one schedulable compute step.
+type Kernel struct {
+	Name   string
+	Reads  []int // tensor IDs read
+	Writes []int // tensor IDs written
+	FLOPs  uint64
+}
+
+// Program is a linear training schedule.
+type Program struct {
+	Name    string
+	Tensors []TensorDef
+	Kernels []Kernel
+	// ForwardKernels is the number of leading kernels belonging to the
+	// forward pass (the rest are backward), used for phase-labeled
+	// reporting like the paper's Figure 5d annotations.
+	ForwardKernels int
+}
+
+// Tensor returns the definition of tensor id.
+func (p *Program) Tensor(id int) TensorDef { return p.Tensors[id] }
+
+// TotalFLOPs sums kernel FLOPs.
+func (p *Program) TotalFLOPs() uint64 {
+	var n uint64
+	for i := range p.Kernels {
+		n += p.Kernels[i].FLOPs
+	}
+	return n
+}
+
+// WeightBytes sums parameter tensor sizes.
+func (p *Program) WeightBytes() uint64 {
+	var n uint64
+	for i := range p.Tensors {
+		if p.Tensors[i].Kind == Weight {
+			n += p.Tensors[i].Bytes()
+		}
+	}
+	return n
+}
+
+// ActivationBytes sums non-weight tensor sizes (the upper bound on
+// dynamic heap demand before lifetime reuse).
+func (p *Program) ActivationBytes() uint64 {
+	var n uint64
+	for i := range p.Tensors {
+		if p.Tensors[i].Kind != Weight {
+			n += p.Tensors[i].Bytes()
+		}
+	}
+	return n
+}
+
+// Validate checks referential integrity: kernels only touch defined
+// tensors, each tensor is written before it is read, and every kernel
+// writes something.
+func (p *Program) Validate() error {
+	written := make([]bool, len(p.Tensors))
+	for i := range p.Tensors {
+		if p.Tensors[i].ID != i {
+			return fmt.Errorf("nn: tensor %d has ID %d", i, p.Tensors[i].ID)
+		}
+		if p.Tensors[i].Kind == Weight {
+			written[i] = true // parameters are initialized before the run
+		}
+	}
+	for ki, k := range p.Kernels {
+		if len(k.Writes) == 0 {
+			return fmt.Errorf("nn: kernel %d (%s) writes nothing", ki, k.Name)
+		}
+		for _, id := range k.Reads {
+			if id < 0 || id >= len(p.Tensors) {
+				return fmt.Errorf("nn: kernel %d (%s) reads undefined tensor %d", ki, k.Name, id)
+			}
+			if !written[id] {
+				return fmt.Errorf("nn: kernel %d (%s) reads tensor %d (%s) before any write",
+					ki, k.Name, id, p.Tensors[id].Name)
+			}
+		}
+		for _, id := range k.Writes {
+			if id < 0 || id >= len(p.Tensors) {
+				return fmt.Errorf("nn: kernel %d (%s) writes undefined tensor %d", ki, k.Name, id)
+			}
+			written[id] = true
+		}
+	}
+	return nil
+}
+
+// opKind tags tape entries for backward generation.
+type opKind uint8
+
+const (
+	opInput opKind = iota
+	opConv
+	opBatchNorm
+	opReLU
+	opMaxPool
+	opAvgPool
+	opGlobalPool
+	opConcat
+	opAdd
+	opFC
+)
+
+// tapeEntry records what backward generation needs about one forward op.
+type tapeEntry struct {
+	kind    opKind
+	inputs  []int // activation inputs
+	output  int
+	weight  int // weight tensor, or -1
+	flops   uint64
+	kernel  int // window size for pools
+	stride  int
+	padding int
+}
+
+// Builder constructs a Program: forward ops first, then Train appends
+// the backward pass.
+type Builder struct {
+	prog  *Program
+	tape  []tapeEntry
+	batch int
+	dtype tensor.DType
+}
+
+// NewBuilder starts a program with the given name and batch size.
+func NewBuilder(name string, batch int) *Builder {
+	return &Builder{
+		prog:  &Program{Name: name},
+		batch: batch,
+		dtype: tensor.F32,
+	}
+}
+
+// Batch returns the builder's batch size.
+func (b *Builder) Batch() int { return b.batch }
+
+// newTensor registers a tensor and returns its ID.
+func (b *Builder) newTensor(name string, kind TensorKind, shape tensor.Shape) int {
+	id := len(b.prog.Tensors)
+	b.prog.Tensors = append(b.prog.Tensors, TensorDef{
+		ID: id, Name: name, Kind: kind, Shape: shape, DType: b.dtype,
+	})
+	return id
+}
+
+// emit appends a kernel.
+func (b *Builder) emit(name string, reads, writes []int, flops uint64) {
+	b.prog.Kernels = append(b.prog.Kernels, Kernel{Name: name, Reads: reads, Writes: writes, FLOPs: flops})
+}
+
+// shape returns the shape of tensor id.
+func (b *Builder) shape(id int) tensor.Shape { return b.prog.Tensors[id].Shape }
+
+// Input declares the network input (written by a data-load kernel so
+// that it has a defined producer).
+func (b *Builder) Input(h, w, c int) int {
+	id := b.newTensor("input", Activation, tensor.NHWC(b.batch, h, w, c))
+	b.emit("LoadBatch", nil, []int{id}, 0)
+	b.tape = append(b.tape, tapeEntry{kind: opInput, output: id, weight: -1})
+	return id
+}
+
+// Conv appends a 2D convolution with the given kernel size, stride,
+// symmetric padding and output channels.
+func (b *Builder) Conv(x, kh, stride, pad, outC int) int {
+	in := b.shape(x)
+	n, h, w, c := in[0], in[1], in[2], in[3]
+	oh := tensor.Conv2DOut(h, kh, stride, pad)
+	ow := tensor.Conv2DOut(w, kh, stride, pad)
+	wid := b.newTensor(fmt.Sprintf("w_conv%dx%d_%d", kh, kh, outC), Weight, tensor.Shape{kh, kh, c, outC})
+	out := b.newTensor(fmt.Sprintf("conv%dx%d", kh, kh), Activation, tensor.NHWC(n, oh, ow, outC))
+	flops := 2 * uint64(n) * uint64(oh) * uint64(ow) * uint64(outC) * uint64(c) * uint64(kh) * uint64(kh)
+	b.emit(fmt.Sprintf("Conv%dx%d/%d", kh, kh, stride), []int{x, wid}, []int{out}, flops)
+	b.tape = append(b.tape, tapeEntry{kind: opConv, inputs: []int{x}, output: out, weight: wid, flops: flops, kernel: kh, stride: stride, padding: pad})
+	return out
+}
+
+// BatchNorm appends a batch normalization (training flavor: computes
+// batch statistics — bandwidth bound, as the paper stresses).
+func (b *Builder) BatchNorm(x int) int {
+	out := b.newTensor("bn", Activation, b.shape(x))
+	flops := 10 * b.shape(x).Elems()
+	b.emit("BatchNorm", []int{x}, []int{out}, flops)
+	b.tape = append(b.tape, tapeEntry{kind: opBatchNorm, inputs: []int{x}, output: out, weight: -1, flops: flops})
+	return out
+}
+
+// ReLU appends a rectifier.
+func (b *Builder) ReLU(x int) int {
+	out := b.newTensor("relu", Activation, b.shape(x))
+	flops := b.shape(x).Elems()
+	b.emit("ReLU", []int{x}, []int{out}, flops)
+	b.tape = append(b.tape, tapeEntry{kind: opReLU, inputs: []int{x}, output: out, weight: -1, flops: flops})
+	return out
+}
+
+// MaxPool appends a max pooling layer.
+func (b *Builder) MaxPool(x, k, stride, pad int) int {
+	return b.pool(x, k, stride, pad, true)
+}
+
+// AvgPool appends an average pooling layer.
+func (b *Builder) AvgPool(x, k, stride, pad int) int {
+	return b.pool(x, k, stride, pad, false)
+}
+
+func (b *Builder) pool(x, k, stride, pad int, isMax bool) int {
+	in := b.shape(x)
+	n, h, w, c := in[0], in[1], in[2], in[3]
+	oh := tensor.Conv2DOut(h, k, stride, pad)
+	ow := tensor.Conv2DOut(w, k, stride, pad)
+	name, kind := "AvgPool", opAvgPool
+	if isMax {
+		name, kind = "MaxPool", opMaxPool
+	}
+	out := b.newTensor(name, Activation, tensor.NHWC(n, oh, ow, c))
+	flops := uint64(n) * uint64(oh) * uint64(ow) * uint64(c) * uint64(k) * uint64(k)
+	b.emit(fmt.Sprintf("%s%dx%d/%d", name, k, k, stride), []int{x}, []int{out}, flops)
+	b.tape = append(b.tape, tapeEntry{kind: kind, inputs: []int{x}, output: out, weight: -1, flops: flops, kernel: k, stride: stride, padding: pad})
+	return out
+}
+
+// GlobalAvgPool reduces the spatial dimensions to 1x1.
+func (b *Builder) GlobalAvgPool(x int) int {
+	in := b.shape(x)
+	out := b.newTensor("gap", Activation, tensor.NHWC(in[0], 1, 1, in[3]))
+	flops := in.Elems()
+	b.emit("GlobalAvgPool", []int{x}, []int{out}, flops)
+	b.tape = append(b.tape, tapeEntry{kind: opGlobalPool, inputs: []int{x}, output: out, weight: -1, flops: flops})
+	return out
+}
+
+// Concat appends a channel concatenation — the memory-bound kernel the
+// paper singles out in DenseNet's dense blocks (Figure 6).
+func (b *Builder) Concat(xs ...int) int {
+	if len(xs) == 0 {
+		panic("nn: Concat of nothing")
+	}
+	first := b.shape(xs[0])
+	n, h, w := first[0], first[1], first[2]
+	totalC := 0
+	for _, x := range xs {
+		s := b.shape(x)
+		if s[0] != n || s[1] != h || s[2] != w {
+			panic(fmt.Sprintf("nn: Concat shape mismatch: %v vs %v", first, s))
+		}
+		totalC += s[3]
+	}
+	out := b.newTensor("concat", Activation, tensor.NHWC(n, h, w, totalC))
+	// Pure data movement: negligible FLOPs, heavy bandwidth.
+	b.emit("Concat", append([]int(nil), xs...), []int{out}, 0)
+	b.tape = append(b.tape, tapeEntry{kind: opConcat, inputs: append([]int(nil), xs...), output: out, weight: -1})
+	return out
+}
+
+// Add appends an elementwise residual addition.
+func (b *Builder) Add(x, y int) int {
+	out := b.newTensor("add", Activation, b.shape(x))
+	flops := b.shape(x).Elems()
+	b.emit("Add", []int{x, y}, []int{out}, flops)
+	b.tape = append(b.tape, tapeEntry{kind: opAdd, inputs: []int{x, y}, output: out, weight: -1, flops: flops})
+	return out
+}
+
+// FC appends a fully connected layer over the flattened input.
+func (b *Builder) FC(x, outFeatures int) int {
+	in := b.shape(x)
+	inFeatures := int(in.Elems()) / in[0]
+	wid := b.newTensor(fmt.Sprintf("w_fc_%d", outFeatures), Weight, tensor.Shape{inFeatures, outFeatures})
+	out := b.newTensor("fc", Activation, tensor.Shape{in[0], outFeatures})
+	flops := 2 * uint64(in[0]) * uint64(inFeatures) * uint64(outFeatures)
+	b.emit("FC", []int{x, wid}, []int{out}, flops)
+	b.tape = append(b.tape, tapeEntry{kind: opFC, inputs: []int{x}, output: out, weight: wid, flops: flops})
+	return out
+}
+
+// Train appends the backward pass for a scalar loss over logits and
+// returns the finished program. Backward kernels re-read the saved
+// forward activations, which is what keeps them live across the pass.
+func (b *Builder) Train(logits int) (*Program, error) {
+	b.prog.ForwardKernels = len(b.prog.Kernels)
+	gradOf := make(map[int]int)
+
+	// Loss gradient seeds the backward pass.
+	gLogits := b.newTensor("g_logits", Gradient, b.shape(logits))
+	b.emit("SoftmaxLossBprop", []int{logits}, []int{gLogits}, 4*b.shape(logits).Elems())
+	gradOf[logits] = gLogits
+
+	addGrad := func(act, g int) {
+		if prev, ok := gradOf[act]; ok {
+			sum := b.newTensor("g_accum", Gradient, b.shape(act))
+			b.emit("GradAccum", []int{prev, g}, []int{sum}, b.shape(act).Elems())
+			gradOf[act] = sum
+			return
+		}
+		gradOf[act] = g
+	}
+	newGrad := func(of int) int {
+		return b.newTensor("g_"+b.prog.Tensors[of].Name, Gradient, b.shape(of))
+	}
+
+	for i := len(b.tape) - 1; i >= 0; i-- {
+		e := b.tape[i]
+		gy, ok := gradOf[e.output]
+		if !ok {
+			// Dead branch (possible only for the network input).
+			continue
+		}
+		switch e.kind {
+		case opInput:
+			// No gradient flows past the input data.
+		case opConv:
+			x := e.inputs[0]
+			gx := newGrad(x)
+			b.emit("ConvBpropData", []int{gy, e.weight}, []int{gx}, e.flops)
+			addGrad(x, gx)
+			gw := b.newTensor("g_"+b.prog.Tensors[e.weight].Name, Gradient, b.shape(e.weight))
+			b.emit("ConvBpropFilter", []int{gy, x}, []int{gw}, e.flops)
+		case opBatchNorm:
+			x := e.inputs[0]
+			gx := newGrad(x)
+			b.emit("BatchNormBprop", []int{gy, x}, []int{gx}, 2*e.flops)
+			addGrad(x, gx)
+		case opReLU:
+			x := e.inputs[0]
+			gx := newGrad(x)
+			b.emit("ReLUBprop", []int{gy, x}, []int{gx}, e.flops)
+			addGrad(x, gx)
+		case opMaxPool:
+			x := e.inputs[0]
+			gx := newGrad(x)
+			b.emit("MaxPoolBprop", []int{gy, x}, []int{gx}, e.flops)
+			addGrad(x, gx)
+		case opAvgPool, opGlobalPool:
+			x := e.inputs[0]
+			gx := newGrad(x)
+			name := "AvgPoolBprop"
+			if e.kind == opGlobalPool {
+				name = "GlobalAvgPoolBprop"
+			}
+			b.emit(name, []int{gy}, []int{gx}, e.flops)
+			addGrad(x, gx)
+		case opConcat:
+			// One slice kernel per input: reads the shared gy, writes
+			// the per-input gradient.
+			for _, x := range e.inputs {
+				gx := newGrad(x)
+				b.emit("ConcatSliceBprop", []int{gy}, []int{gx}, 0)
+				addGrad(x, gx)
+			}
+		case opAdd:
+			// The gradient passes through to both addends.
+			for _, x := range e.inputs {
+				addGrad(x, gy)
+			}
+		case opFC:
+			x := e.inputs[0]
+			gx := newGrad(x)
+			b.emit("FCBpropData", []int{gy, e.weight}, []int{gx}, e.flops)
+			addGrad(x, gx)
+			gw := b.newTensor("g_"+b.prog.Tensors[e.weight].Name, Gradient, b.shape(e.weight))
+			b.emit("FCBpropFilter", []int{gy, x}, []int{gw}, e.flops)
+		}
+	}
+
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}

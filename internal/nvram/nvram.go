@@ -1,0 +1,194 @@
+// Package nvram models Intel Optane DC Persistent Memory DIMMs: an
+// interleaved set of phase-change-memory devices with asymmetric read
+// and write bandwidth, a 256 B internal media granularity, and a small
+// on-DIMM write-combining buffer (the "XPBuffer").
+//
+// The model counts 64 B line transactions at the DIMM interface — the
+// quantity the Cascade Lake uncore counters report as PMM RPQ/WPQ
+// inserts — and additionally tracks *media* traffic: consecutive line
+// writes that land in the same 256 B media block within the combining
+// window merge into a single media write; isolated line writes cost a
+// full media block (write amplification 4x for 64 B random stores).
+// The media counters let experiments report device wear and explain the
+// bandwidth cliffs of the paper's Figure 2b; elapsed time itself comes
+// from internal/bwmodel.
+package nvram
+
+import (
+	"fmt"
+
+	"twolm/internal/mem"
+)
+
+// MediaBlock is the Optane media access granularity in bytes.
+const MediaBlock = 256
+
+// DIMM is a single Optane module with interface and media counters.
+// Counters are in line (64 B) units except the media counters, which
+// are in MediaBlock units.
+type DIMM struct {
+	Reads  uint64 // 64 B read transactions at the DDR-T interface
+	Writes uint64 // 64 B write transactions at the DDR-T interface
+
+	MediaReads  uint64 // 256 B media block reads
+	MediaWrites uint64 // 256 B media block writes
+
+	// xpbuffer models the write-combining window: the media block
+	// addresses of the most recent pending writes.
+	xpbuf     []uint64
+	xpbufNext int
+
+	lastReadBlock uint64
+	haveLastRead  bool
+}
+
+// xpBufferEntries is the modeled number of merge slots in the on-DIMM
+// write buffer. Small on purpose: the paper notes "limited buffer space
+// within the Optane DIMM decreases the media controller's ability to
+// merge sequential 64 B writes".
+const xpBufferEntries = 16
+
+// newDIMM returns a DIMM with an empty combining buffer.
+func newDIMM() *DIMM {
+	return &DIMM{xpbuf: make([]uint64, 0, xpBufferEntries)}
+}
+
+// Read records a 64 B read at addr, merging consecutive reads of the
+// same media block into one media read.
+func (d *DIMM) Read(addr uint64) {
+	d.Reads++
+	block := addr / MediaBlock
+	if d.haveLastRead && block == d.lastReadBlock {
+		return
+	}
+	d.MediaReads++
+	d.lastReadBlock = block
+	d.haveLastRead = true
+}
+
+// Write records a 64 B write at addr. Writes to a media block already
+// pending in the combining buffer merge; otherwise a new media write is
+// counted and the block occupies a buffer slot (round-robin replacement).
+func (d *DIMM) Write(addr uint64) {
+	d.Writes++
+	block := addr / MediaBlock
+	for _, b := range d.xpbuf {
+		if b == block {
+			return // merged into a pending media write
+		}
+	}
+	d.MediaWrites++
+	if len(d.xpbuf) < cap(d.xpbuf) {
+		d.xpbuf = append(d.xpbuf, block)
+		return
+	}
+	d.xpbuf[d.xpbufNext] = block
+	d.xpbufNext = (d.xpbufNext + 1) % len(d.xpbuf)
+}
+
+// WriteAmplification returns media bytes written per interface byte
+// written (1.0 = perfect merging, 4.0 = no merging).
+func (d *DIMM) WriteAmplification() float64 {
+	if d.Writes == 0 {
+		return 1
+	}
+	return float64(d.MediaWrites*MediaBlock) / float64(d.Writes*mem.Line)
+}
+
+// Module is one socket's worth of NVRAM: n interleaved DIMMs.
+type Module struct {
+	dimms    []*DIMM
+	capacity uint64
+}
+
+// New returns an NVRAM module with the given DIMM count and total
+// capacity in bytes.
+func New(dimms int, capacity uint64) (*Module, error) {
+	if dimms <= 0 {
+		return nil, fmt.Errorf("nvram: dimm count %d must be positive", dimms)
+	}
+	if capacity == 0 || capacity%mem.Line != 0 {
+		return nil, fmt.Errorf("nvram: capacity %d must be a positive multiple of %d", capacity, mem.Line)
+	}
+	m := &Module{dimms: make([]*DIMM, dimms), capacity: capacity}
+	for i := range m.dimms {
+		m.dimms[i] = newDIMM()
+	}
+	return m, nil
+}
+
+// DIMMs returns the number of DIMMs in the interleave set.
+func (m *Module) DIMMs() int { return len(m.dimms) }
+
+// Capacity returns the module capacity in bytes.
+func (m *Module) Capacity() uint64 { return m.capacity }
+
+// dimm maps a line address onto its interleaved DIMM. Optane interleave
+// granularity is 4 KiB on real platforms.
+const interleaveGranularity = 4 * 1024
+
+func (m *Module) dimm(addr uint64) *DIMM {
+	return m.dimms[(addr/interleaveGranularity)%uint64(len(m.dimms))]
+}
+
+// Read records one 64 B read transaction at addr.
+func (m *Module) Read(addr uint64) { m.dimm(addr).Read(addr) }
+
+// Write records one 64 B write transaction at addr.
+func (m *Module) Write(addr uint64) { m.dimm(addr).Write(addr) }
+
+// TotalReads returns interface read transactions summed over DIMMs.
+func (m *Module) TotalReads() uint64 {
+	var n uint64
+	for _, d := range m.dimms {
+		n += d.Reads
+	}
+	return n
+}
+
+// TotalWrites returns interface write transactions summed over DIMMs.
+func (m *Module) TotalWrites() uint64 {
+	var n uint64
+	for _, d := range m.dimms {
+		n += d.Writes
+	}
+	return n
+}
+
+// TotalMediaReads returns media block reads summed over DIMMs.
+func (m *Module) TotalMediaReads() uint64 {
+	var n uint64
+	for _, d := range m.dimms {
+		n += d.MediaReads
+	}
+	return n
+}
+
+// TotalMediaWrites returns media block writes summed over DIMMs.
+func (m *Module) TotalMediaWrites() uint64 {
+	var n uint64
+	for _, d := range m.dimms {
+		n += d.MediaWrites
+	}
+	return n
+}
+
+// WriteAmplification returns the aggregate media write amplification.
+func (m *Module) WriteAmplification() float64 {
+	var iface, media uint64
+	for _, d := range m.dimms {
+		iface += d.Writes
+		media += d.MediaWrites
+	}
+	if iface == 0 {
+		return 1
+	}
+	return float64(media*MediaBlock) / float64(iface*mem.Line)
+}
+
+// Reset zeroes all counters and combining state.
+func (m *Module) Reset() {
+	for i := range m.dimms {
+		m.dimms[i] = newDIMM()
+	}
+}

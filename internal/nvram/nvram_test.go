@@ -1,0 +1,125 @@
+package nvram
+
+import (
+	"testing"
+
+	"twolm/internal/lfsr"
+	"twolm/internal/mem"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, mem.MiB); err == nil {
+		t.Error("zero DIMMs accepted")
+	}
+	if _, err := New(6, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(6, 100); err == nil {
+		t.Error("non-line-multiple capacity accepted")
+	}
+	m, err := New(6, 3*mem.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DIMMs() != 6 || m.Capacity() != 3*mem.GiB {
+		t.Errorf("got %d DIMMs, capacity %d", m.DIMMs(), m.Capacity())
+	}
+}
+
+// TestSequentialWriteMerging: an ascending 64 B write stream should
+// merge into 256 B media writes with amplification ~1.
+func TestSequentialWriteMerging(t *testing.T) {
+	m, _ := New(1, mem.GiB)
+	const lines = 4096
+	for i := uint64(0); i < lines; i++ {
+		m.Write(i * mem.Line)
+	}
+	if m.TotalWrites() != lines {
+		t.Fatalf("interface writes = %d, want %d", m.TotalWrites(), lines)
+	}
+	wantMedia := uint64(lines * mem.Line / MediaBlock)
+	if m.TotalMediaWrites() != wantMedia {
+		t.Errorf("media writes = %d, want %d", m.TotalMediaWrites(), wantMedia)
+	}
+	if wa := m.WriteAmplification(); wa != 1.0 {
+		t.Errorf("sequential write amplification = %.2f, want 1.0", wa)
+	}
+}
+
+// TestRandomWriteAmplification: LFSR-random 64 B writes should fail to
+// merge and approach 4x media write amplification.
+func TestRandomWriteAmplification(t *testing.T) {
+	m, _ := New(1, mem.GiB)
+	const lines = 1 << 16
+	if err := lfsr.Sequence(lines, 1, func(i uint64) {
+		m.Write(i * mem.Line)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wa := m.WriteAmplification()
+	if wa < 3.0 || wa > 4.0 {
+		t.Errorf("random 64B write amplification = %.2f, want ~4", wa)
+	}
+}
+
+// TestRandom256BWritesDoNotAmplify: touching 4 consecutive lines per
+// random location merges back to amplification ~1.
+func TestRandom256BWritesDoNotAmplify(t *testing.T) {
+	m, _ := New(1, mem.GiB)
+	const blocks = 1 << 14
+	if err := lfsr.Sequence(blocks, 1, func(i uint64) {
+		base := i * MediaBlock
+		for l := uint64(0); l < MediaBlock/mem.Line; l++ {
+			m.Write(base + l*mem.Line)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if wa := m.WriteAmplification(); wa > 1.05 {
+		t.Errorf("random 256B write amplification = %.2f, want ~1", wa)
+	}
+}
+
+// TestSequentialReadMerging: consecutive reads of a media block count
+// one media read.
+func TestSequentialReadMerging(t *testing.T) {
+	m, _ := New(1, mem.GiB)
+	const lines = 1024
+	for i := uint64(0); i < lines; i++ {
+		m.Read(i * mem.Line)
+	}
+	wantMedia := uint64(lines * mem.Line / MediaBlock)
+	if m.TotalMediaReads() != wantMedia {
+		t.Errorf("media reads = %d, want %d", m.TotalMediaReads(), wantMedia)
+	}
+}
+
+func TestInterleaveAcrossDIMMs(t *testing.T) {
+	m, _ := New(6, 6*mem.GiB)
+	// Touch 6 interleave units; each should land on a distinct DIMM.
+	for i := uint64(0); i < 6; i++ {
+		m.Read(i * 4096)
+	}
+	for i, d := range m.dimms {
+		if d.Reads != 1 {
+			t.Errorf("DIMM %d reads = %d, want 1", i, d.Reads)
+		}
+	}
+}
+
+func TestWriteAmplificationEmpty(t *testing.T) {
+	m, _ := New(2, mem.GiB)
+	if wa := m.WriteAmplification(); wa != 1 {
+		t.Errorf("empty module amplification = %.2f, want 1", wa)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m, _ := New(2, mem.GiB)
+	m.Read(0)
+	m.Write(64)
+	m.Reset()
+	if m.TotalReads() != 0 || m.TotalWrites() != 0 || m.TotalMediaReads() != 0 || m.TotalMediaWrites() != 0 {
+		t.Error("Reset left nonzero counters")
+	}
+}

@@ -1,0 +1,220 @@
+// Package platform describes the simulated machine: socket and channel
+// topology, DRAM and NVRAM capacities, footprint scaling, and the
+// physical address layout used by the two operating modes:
+//
+//   - 2LM ("memory mode"): the whole address space is NVRAM-backed with
+//     DRAM acting as a transparent direct-mapped cache.
+//   - 1LM ("app-direct mode"): DRAM and NVRAM are separate pools; the
+//     address space is split into a DRAM region followed by an NVRAM
+//     region, like the kernel's NUMA-node layout when NVRAM regions are
+//     exposed through daxctl.
+//
+// The paper's platform (Figure 1) is a two-socket Cascade Lake server
+// with, per socket, six memory channels each holding a 32 GiB DDR4 DIMM
+// and a 512 GiB Optane DC DIMM: 192 GiB DRAM + 3 TiB NVRAM per socket.
+//
+// Because the study's footprints (hundreds of GB) are impractical to
+// simulate line-by-line, a Config carries a Scale divisor applied
+// uniformly to all capacities. Direct-mapped conflict behavior under a
+// linear allocator is invariant to uniform scaling, so the shape of
+// every result is preserved (see DESIGN.md).
+package platform
+
+import (
+	"fmt"
+
+	"twolm/internal/mem"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Sockets participating in the experiment (the paper uses 1 for
+	// microbenchmarks and CNNs, 2 for graphs).
+	Sockets int
+
+	// ChannelsPerSocket is the number of memory channels (6 on Cascade
+	// Lake), each carrying one DRAM and one NVRAM DIMM.
+	ChannelsPerSocket int
+
+	// DRAMPerChannel and NVRAMPerChannel are unscaled capacities in
+	// bytes (32 GiB and 512 GiB on the paper's platform).
+	DRAMPerChannel  uint64
+	NVRAMPerChannel uint64
+
+	// Scale divides all capacities for tractable simulation; 1 means
+	// full size. Must be a power of two so line alignment survives.
+	Scale uint64
+
+	// Threads is the worker-thread count the bandwidth model assumes.
+	Threads int
+}
+
+// CascadeLake returns the paper's test platform at the given footprint
+// scale (use 1024 for the default 1/1024 scaling) and thread count.
+func CascadeLake(sockets int, scale uint64, threads int) Config {
+	return Config{
+		Sockets:           sockets,
+		ChannelsPerSocket: 6,
+		DRAMPerChannel:    32 * mem.GiB,
+		NVRAMPerChannel:   512 * mem.GiB,
+		Scale:             scale,
+		Threads:           threads,
+	}
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if c.Sockets < 1 {
+		return fmt.Errorf("platform: sockets %d < 1", c.Sockets)
+	}
+	if c.ChannelsPerSocket < 1 {
+		return fmt.Errorf("platform: channels per socket %d < 1", c.ChannelsPerSocket)
+	}
+	if c.Scale == 0 || c.Scale&(c.Scale-1) != 0 {
+		return fmt.Errorf("platform: scale %d must be a nonzero power of two", c.Scale)
+	}
+	if c.DRAMSize() < mem.Line || c.NVRAMSize() < mem.Line {
+		return fmt.Errorf("platform: scaled capacities below one line")
+	}
+	if c.Threads < 1 {
+		return fmt.Errorf("platform: threads %d < 1", c.Threads)
+	}
+	return nil
+}
+
+// DRAMSize returns the scaled total DRAM capacity in bytes.
+func (c Config) DRAMSize() uint64 {
+	return uint64(c.Sockets) * uint64(c.ChannelsPerSocket) * c.DRAMPerChannel / c.Scale
+}
+
+// NVRAMSize returns the scaled total NVRAM capacity in bytes.
+func (c Config) NVRAMSize() uint64 {
+	return uint64(c.Sockets) * uint64(c.ChannelsPerSocket) * c.NVRAMPerChannel / c.Scale
+}
+
+// Channels returns the total channel count across sockets.
+func (c Config) Channels() int { return c.Sockets * c.ChannelsPerSocket }
+
+// ScaleBytes converts an unscaled (paper-sized) byte count to the
+// simulated scale, rounding up to a whole line.
+func (c Config) ScaleBytes(n uint64) uint64 {
+	return mem.AlignUp(n/c.Scale, mem.Line)
+}
+
+// UnscaleBytes converts a simulated byte count back to paper scale for
+// reporting.
+func (c Config) UnscaleBytes(n uint64) uint64 { return n * c.Scale }
+
+// Pool identifies a memory pool in 1LM mode.
+type Pool uint8
+
+const (
+	// PoolDRAM is socket-local DRAM.
+	PoolDRAM Pool = iota
+	// PoolNVRAM is app-direct NVRAM (a dax NUMA node).
+	PoolNVRAM
+)
+
+// String implements fmt.Stringer.
+func (p Pool) String() string {
+	if p == PoolDRAM {
+		return "dram"
+	}
+	return "nvram"
+}
+
+// AddressSpace is a bump allocator over the simulated physical address
+// space. In 1LM mode the DRAM pool occupies [0, DRAMSize) and the NVRAM
+// pool [DRAMSize, DRAMSize+NVRAMSize). In 2LM mode the whole space is
+// one NVRAM-backed pool and Alloc draws from it directly.
+type AddressSpace struct {
+	cfg       Config
+	twoLM     bool
+	dramNext  uint64
+	dramEnd   uint64
+	nvramNext uint64
+	nvramEnd  uint64
+}
+
+// NewAddressSpace returns an allocator for the configuration. twoLM
+// selects memory-mode layout (single flat space of NVRAM capacity).
+func NewAddressSpace(cfg Config, twoLM bool) *AddressSpace {
+	s := &AddressSpace{cfg: cfg, twoLM: twoLM}
+	if twoLM {
+		// In 2LM the OS sees only the NVRAM capacity.
+		s.dramEnd = 0
+		s.nvramNext = 0
+		s.nvramEnd = cfg.NVRAMSize()
+	} else {
+		s.dramNext = 0
+		s.dramEnd = cfg.DRAMSize()
+		s.nvramNext = cfg.DRAMSize()
+		s.nvramEnd = cfg.DRAMSize() + cfg.NVRAMSize()
+	}
+	return s
+}
+
+// DRAMBoundary returns the first NVRAM address in 1LM layout (0 in 2LM,
+// where DRAM is invisible).
+func (s *AddressSpace) DRAMBoundary() uint64 { return s.dramEnd }
+
+// PoolOf reports which pool an address belongs to in 1LM layout.
+func (s *AddressSpace) PoolOf(addr uint64) Pool {
+	if !s.twoLM && addr < s.dramEnd {
+		return PoolDRAM
+	}
+	return PoolNVRAM
+}
+
+// Alloc reserves size bytes with NUMA-preferred policy: DRAM first (in
+// 1LM), spilling to NVRAM when DRAM is exhausted — the policy the paper
+// uses for its graph baseline ("threads will initially allocate memory
+// on that socket's DRAM; when DRAM is exhausted, further allocations
+// are serviced by NVRAM"). In 2LM it simply draws from the flat space.
+func (s *AddressSpace) Alloc(size uint64) (mem.Region, error) {
+	size = mem.AlignUp(size, mem.Line)
+	if !s.twoLM && s.dramNext+size <= s.dramEnd {
+		r := mem.Region{Base: s.dramNext, Size: size}
+		s.dramNext += size
+		return r, nil
+	}
+	return s.AllocNVRAM(size)
+}
+
+// AllocDRAM reserves size bytes of DRAM pool (1LM only).
+func (s *AddressSpace) AllocDRAM(size uint64) (mem.Region, error) {
+	if s.twoLM {
+		return mem.Region{}, fmt.Errorf("platform: no distinct DRAM pool in 2LM mode")
+	}
+	size = mem.AlignUp(size, mem.Line)
+	if s.dramNext+size > s.dramEnd {
+		return mem.Region{}, fmt.Errorf("platform: DRAM pool exhausted (%s requested, %s free)",
+			mem.FormatBytes(size), mem.FormatBytes(s.dramEnd-s.dramNext))
+	}
+	r := mem.Region{Base: s.dramNext, Size: size}
+	s.dramNext += size
+	return r, nil
+}
+
+// AllocNVRAM reserves size bytes of NVRAM pool (or flat 2LM space).
+func (s *AddressSpace) AllocNVRAM(size uint64) (mem.Region, error) {
+	size = mem.AlignUp(size, mem.Line)
+	if s.nvramNext+size > s.nvramEnd {
+		return mem.Region{}, fmt.Errorf("platform: NVRAM pool exhausted (%s requested, %s free)",
+			mem.FormatBytes(size), mem.FormatBytes(s.nvramEnd-s.nvramNext))
+	}
+	r := mem.Region{Base: s.nvramNext, Size: size}
+	s.nvramNext += size
+	return r, nil
+}
+
+// DRAMFree returns the unallocated DRAM pool bytes (0 in 2LM).
+func (s *AddressSpace) DRAMFree() uint64 {
+	if s.twoLM {
+		return 0
+	}
+	return s.dramEnd - s.dramNext
+}
+
+// NVRAMFree returns the unallocated NVRAM pool bytes.
+func (s *AddressSpace) NVRAMFree() uint64 { return s.nvramEnd - s.nvramNext }

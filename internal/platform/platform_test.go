@@ -1,0 +1,163 @@
+package platform
+
+import (
+	"testing"
+
+	"twolm/internal/mem"
+)
+
+func TestCascadeLakeCapacities(t *testing.T) {
+	cfg := CascadeLake(1, 1, 24)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.DRAMSize(); got != 192*mem.GiB {
+		t.Errorf("DRAM = %s, want 192 GiB", mem.FormatBytes(got))
+	}
+	if got := cfg.NVRAMSize(); got != 3*mem.TiB {
+		t.Errorf("NVRAM = %s, want 3 TiB", mem.FormatBytes(got))
+	}
+	two := CascadeLake(2, 1, 96)
+	if two.DRAMSize() != 384*mem.GiB || two.NVRAMSize() != 6*mem.TiB {
+		t.Error("two-socket capacities wrong")
+	}
+	if two.Channels() != 12 {
+		t.Errorf("channels = %d, want 12", two.Channels())
+	}
+}
+
+func TestScaledCapacities(t *testing.T) {
+	cfg := CascadeLake(1, 1024, 24)
+	if got := cfg.DRAMSize(); got != 192*mem.MiB {
+		t.Errorf("scaled DRAM = %s, want 192 MiB", mem.FormatBytes(got))
+	}
+	if got := cfg.ScaleBytes(688 * uint64(1e9)); got < 600*mem.MiB || got > 700*mem.MiB {
+		t.Errorf("ScaleBytes(688GB) = %s", mem.FormatBytes(got))
+	}
+	n := cfg.ScaleBytes(1000)
+	if n%mem.Line != 0 {
+		t.Error("ScaleBytes result not line aligned")
+	}
+	if cfg.UnscaleBytes(cfg.DRAMSize()) != 192*mem.GiB {
+		t.Error("UnscaleBytes did not invert")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Sockets: 0, ChannelsPerSocket: 6, DRAMPerChannel: mem.GiB, NVRAMPerChannel: mem.GiB, Scale: 1, Threads: 1},
+		{Sockets: 1, ChannelsPerSocket: 0, DRAMPerChannel: mem.GiB, NVRAMPerChannel: mem.GiB, Scale: 1, Threads: 1},
+		{Sockets: 1, ChannelsPerSocket: 6, DRAMPerChannel: mem.GiB, NVRAMPerChannel: mem.GiB, Scale: 0, Threads: 1},
+		{Sockets: 1, ChannelsPerSocket: 6, DRAMPerChannel: mem.GiB, NVRAMPerChannel: mem.GiB, Scale: 3, Threads: 1},
+		{Sockets: 1, ChannelsPerSocket: 6, DRAMPerChannel: mem.GiB, NVRAMPerChannel: mem.GiB, Scale: 1, Threads: 0},
+		{Sockets: 1, ChannelsPerSocket: 1, DRAMPerChannel: 64, NVRAMPerChannel: 64, Scale: 4, Threads: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestAddressSpace1LMLayout(t *testing.T) {
+	cfg := CascadeLake(1, 1024, 24)
+	s := NewAddressSpace(cfg, false)
+	if s.DRAMBoundary() != cfg.DRAMSize() {
+		t.Errorf("DRAM boundary = %d, want %d", s.DRAMBoundary(), cfg.DRAMSize())
+	}
+	d, err := s.AllocDRAM(mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PoolOf(d.Base) != PoolDRAM {
+		t.Error("DRAM allocation not in DRAM pool")
+	}
+	n, err := s.AllocNVRAM(mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PoolOf(n.Base) != PoolNVRAM {
+		t.Error("NVRAM allocation not in NVRAM pool")
+	}
+	if d.Contains(n.Base) || n.Contains(d.Base) {
+		t.Error("pools overlap")
+	}
+}
+
+func TestAddressSpaceNUMAPreferred(t *testing.T) {
+	cfg := CascadeLake(1, 1024, 24)
+	s := NewAddressSpace(cfg, false)
+	// First allocation fits DRAM.
+	a, err := s.Alloc(cfg.DRAMSize() / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PoolOf(a.Base) != PoolDRAM {
+		t.Error("first alloc should prefer DRAM")
+	}
+	// Second allocation exceeds remaining DRAM and must spill to NVRAM.
+	b, err := s.Alloc(cfg.DRAMSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PoolOf(b.Base) != PoolNVRAM {
+		t.Error("oversized alloc should spill to NVRAM")
+	}
+}
+
+func TestAddressSpace2LM(t *testing.T) {
+	cfg := CascadeLake(1, 1024, 24)
+	s := NewAddressSpace(cfg, true)
+	if _, err := s.AllocDRAM(mem.MiB); err == nil {
+		t.Error("2LM mode should have no DRAM pool")
+	}
+	r, err := s.Alloc(mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Base != 0 {
+		t.Errorf("2LM space should start at 0, got %#x", r.Base)
+	}
+	if s.DRAMFree() != 0 {
+		t.Error("2LM DRAMFree should be 0")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	cfg := Config{Sockets: 1, ChannelsPerSocket: 1, DRAMPerChannel: mem.MiB, NVRAMPerChannel: 2 * mem.MiB, Scale: 1, Threads: 1}
+	s := NewAddressSpace(cfg, false)
+	if _, err := s.AllocDRAM(2 * mem.MiB); err == nil {
+		t.Error("DRAM over-allocation accepted")
+	}
+	if _, err := s.AllocNVRAM(4 * mem.MiB); err == nil {
+		t.Error("NVRAM over-allocation accepted")
+	}
+	if _, err := s.AllocNVRAM(2 * mem.MiB); err != nil {
+		t.Errorf("exact-fit NVRAM allocation rejected: %v", err)
+	}
+	if s.NVRAMFree() != 0 {
+		t.Errorf("NVRAMFree = %d after exhaustion", s.NVRAMFree())
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	cfg := CascadeLake(1, 1024, 24)
+	s := NewAddressSpace(cfg, false)
+	a, _ := s.Alloc(10) // sub-line request
+	if a.Size != mem.Line {
+		t.Errorf("allocation size %d not rounded to line", a.Size)
+	}
+	b, _ := s.Alloc(10)
+	if b.Base%mem.Line != 0 {
+		t.Errorf("allocation base %#x not line aligned", b.Base)
+	}
+	if a.End() > b.Base {
+		t.Error("allocations overlap")
+	}
+}
+
+func TestPoolString(t *testing.T) {
+	if PoolDRAM.String() != "dram" || PoolNVRAM.String() != "nvram" {
+		t.Error("unexpected Pool strings")
+	}
+}

@@ -1,0 +1,186 @@
+// Package results renders experiment output: aligned text tables,
+// simple ASCII bar charts for terminal inspection, and CSV for
+// plotting. The reproduction harness (cmd/repro) writes one artifact
+// per paper table/figure through this package.
+package results
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-oriented result table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// widths computes per-column display widths.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		w[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(w) && len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// Fprint writes the table in aligned text form.
+func (t *Table) Fprint(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title))); err != nil {
+			return err
+		}
+	}
+	widths := t.widths()
+	writeRow := func(cells []string) error {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	total := len(widths) - 1
+	for _, x := range widths {
+		total += x + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Fprint(&sb)
+	return sb.String()
+}
+
+// WriteCSV emits the table as CSV (headers + rows). Cells containing
+// commas or quotes are quoted.
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			parts[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bar is one bar of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal ASCII bars scaled to width characters,
+// with values printed in the given unit. It is the terminal stand-in
+// for the paper's bandwidth bar figures.
+type BarChart struct {
+	Title string
+	Unit  string
+	Width int
+	Bars  []Bar
+}
+
+// NewBarChart returns a chart with a default width of 50 characters.
+func NewBarChart(title, unit string) *BarChart {
+	return &BarChart{Title: title, Unit: unit, Width: 50}
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.Bars = append(c.Bars, Bar{Label: label, Value: value})
+}
+
+// Fprint renders the chart.
+func (c *BarChart) Fprint(w io.Writer) error {
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	maxVal, maxLabel := 0.0, 0
+	for _, b := range c.Bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if len(b.Label) > maxLabel {
+			maxLabel = len(b.Label)
+		}
+	}
+	for _, b := range c.Bars {
+		n := 0
+		if maxVal > 0 {
+			n = int(b.Value / maxVal * float64(c.Width))
+		}
+		if _, err := fmt.Fprintf(w, "  %-*s |%s %.2f %s\n",
+			maxLabel, b.Label, strings.Repeat("#", n), b.Value, c.Unit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	var sb strings.Builder
+	_ = c.Fprint(&sb)
+	return sb.String()
+}

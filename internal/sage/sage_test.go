@@ -1,0 +1,130 @@
+package sage
+
+import (
+	"testing"
+
+	"twolm/internal/analytics"
+	"twolm/internal/core"
+	"twolm/internal/graph"
+	"twolm/internal/mem"
+	"twolm/internal/platform"
+)
+
+func newSystem(t *testing.T, mode core.Mode) *core.System {
+	t.Helper()
+	sys, err := core.New(core.Config{
+		Platform: platform.Config{
+			Sockets: 1, ChannelsPerSocket: 6,
+			DRAMPerChannel:  mem.MiB,
+			NVRAMPerChannel: 64 * mem.MiB,
+			Scale:           1, Threads: 24,
+		},
+		Mode:     mode,
+		LLCBytes: 32 * mem.KiB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestRequires1LM(t *testing.T) {
+	g, _ := graph.Kronecker(8, 4, 1)
+	if _, err := New(newSystem(t, core.Mode2LM), g); err == nil {
+		t.Error("2LM system accepted")
+	}
+}
+
+// TestNoNVRAMWrites is Sage's defining property: mutation only touches
+// DRAM, so kernels generate zero NVRAM write traffic.
+func TestNoNVRAMWrites(t *testing.T) {
+	g, err := graph.Kronecker(10, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newSystem(t, core.Mode1LM)
+	s, err := New(sys, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := analytics.Config{Threads: 24, PRRounds: 3}
+	res, err := s.PageRank(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta.NVRAMWrite != 0 {
+		t.Errorf("Sage pagerank wrote NVRAM %d times", res.Delta.NVRAMWrite)
+	}
+	if res.Delta.NVRAMRead == 0 {
+		t.Error("graph structure reads should hit NVRAM")
+	}
+	if res.Delta.DRAMWrite == 0 {
+		t.Error("mutations should hit DRAM")
+	}
+}
+
+// TestSameAnswersAsFlatPlacement: placement must not change results.
+func TestSameAnswersAsFlatPlacement(t *testing.T) {
+	g, err := graph.Kronecker(9, 6, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.MaxOutDegreeNode()
+
+	sageSys := newSystem(t, core.Mode1LM)
+	s, err := New(sageSys, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sageRes, err := s.BFS(analytics.Config{Threads: 24}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flatSys := newSystem(t, core.Mode2LM)
+	layout, err := g.Place(flatSys.AddressSpace().Alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatRes, err := analytics.BFS(analytics.Config{
+		Sys: flatSys, G: g, Layout: layout,
+		AllocProp: flatSys.AddressSpace().Alloc, Threads: 24,
+	}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := sageRes.Output.([]uint32)
+	b := flatRes.Output.([]uint32)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("dist[%d]: sage %d vs flat %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestAllKernelsRun exercises every wrapper.
+func TestAllKernelsRun(t *testing.T) {
+	g, err := graph.Kronecker(8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newSystem(t, core.Mode1LM)
+	s, err := New(sys, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := analytics.Config{Threads: 24, PRRounds: 2, KCoreK: 4}
+	if _, err := s.BFS(base, 0); err != nil {
+		t.Errorf("BFS: %v", err)
+	}
+	if _, err := s.CC(base); err != nil {
+		t.Errorf("CC: %v", err)
+	}
+	if _, err := s.KCore(base); err != nil {
+		t.Errorf("KCore: %v", err)
+	}
+	if _, err := s.PageRank(base); err != nil {
+		t.Errorf("PageRank: %v", err)
+	}
+}

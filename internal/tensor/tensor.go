@@ -1,0 +1,75 @@
+// Package tensor provides shapes and dtype sizing for the CNN
+// workload substrate. Tensors here are *descriptors* — the simulator
+// cares about sizes, lifetimes and placement, not values.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DType is an element type.
+type DType uint8
+
+const (
+	// F32 is 32-bit floating point, the training dtype the paper's
+	// ngraph workloads use.
+	F32 DType = iota
+	// F16 is 16-bit floating point (for ablations).
+	F16
+)
+
+// Size returns the element size in bytes.
+func (d DType) Size() uint64 {
+	switch d {
+	case F16:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// String implements fmt.Stringer.
+func (d DType) String() string {
+	if d == F16 {
+		return "f16"
+	}
+	return "f32"
+}
+
+// Shape is a tensor shape in NHWC layout for activations ([n, h, w, c])
+// or arbitrary layout for weights.
+type Shape []int
+
+// Elems returns the element count (1 for a scalar/empty shape).
+func (s Shape) Elems() uint64 {
+	n := uint64(1)
+	for _, d := range s {
+		if d <= 0 {
+			return 0
+		}
+		n *= uint64(d)
+	}
+	return n
+}
+
+// Bytes returns the byte size of a tensor of this shape and dtype.
+func (s Shape) Bytes(d DType) uint64 { return s.Elems() * d.Size() }
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = fmt.Sprint(d)
+	}
+	return "[" + strings.Join(parts, "x") + "]"
+}
+
+// NHWC builds an activation shape.
+func NHWC(n, h, w, c int) Shape { return Shape{n, h, w, c} }
+
+// Conv2DOut returns the output spatial size for a convolution or
+// pooling with the given kernel, stride and symmetric padding.
+func Conv2DOut(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}

@@ -1,0 +1,81 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeElems(t *testing.T) {
+	cases := []struct {
+		s    Shape
+		want uint64
+	}{
+		{Shape{}, 1},
+		{Shape{5}, 5},
+		{Shape{2, 3, 4}, 24},
+		{NHWC(8, 224, 224, 3), 8 * 224 * 224 * 3},
+		{Shape{2, 0, 4}, 0},
+		{Shape{-1, 4}, 0},
+	}
+	for _, c := range cases {
+		if got := c.s.Elems(); got != c.want {
+			t.Errorf("%v.Elems() = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestShapeBytes(t *testing.T) {
+	s := Shape{10, 10}
+	if got := s.Bytes(F32); got != 400 {
+		t.Errorf("F32 bytes = %d, want 400", got)
+	}
+	if got := s.Bytes(F16); got != 200 {
+		t.Errorf("F16 bytes = %d, want 200", got)
+	}
+}
+
+func TestDTypeStringsAndSizes(t *testing.T) {
+	if F32.Size() != 4 || F16.Size() != 2 {
+		t.Error("unexpected dtype sizes")
+	}
+	if F32.String() != "f32" || F16.String() != "f16" {
+		t.Error("unexpected dtype strings")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if got := (Shape{1, 2, 3}).String(); got != "[1x2x3]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestConv2DOut(t *testing.T) {
+	cases := []struct {
+		in, k, stride, pad, want int
+	}{
+		{224, 7, 2, 3, 112}, // ResNet stem
+		{112, 3, 2, 1, 56},  // stem pool
+		{56, 3, 1, 1, 56},   // same-padded 3x3
+		{56, 1, 1, 0, 56},   // pointwise
+		{56, 2, 2, 0, 28},   // transition pool
+		{299, 3, 2, 0, 149}, // Inception stem
+	}
+	for _, c := range cases {
+		if got := Conv2DOut(c.in, c.k, c.stride, c.pad); got != c.want {
+			t.Errorf("Conv2DOut(%d,%d,%d,%d) = %d, want %d", c.in, c.k, c.stride, c.pad, got, c.want)
+		}
+	}
+}
+
+func TestConv2DOutProperty(t *testing.T) {
+	// Same-padded stride-1 convolutions preserve spatial size for odd
+	// kernels.
+	f := func(inRaw uint8, kRaw uint8) bool {
+		in := int(inRaw%200) + 8
+		k := int(kRaw%4)*2 + 1 // 1,3,5,7
+		return Conv2DOut(in, k, 1, k/2) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"testing"
 
+	"twolm/internal/engine"
 	"twolm/internal/experiments"
 )
 
@@ -386,6 +387,36 @@ func BenchmarkEmbedding(b *testing.B) {
 			// Inference throughput, both placements (Mlookups/s).
 			b.ReportMetric(cell(b, table.Rows, 0, 2), "2lm-mlookups/s")
 			b.ReportMetric(cell(b, table.Rows, 1, 2), "sw-mlookups/s")
+		}
+	}
+}
+
+// benchSuite is the quick-footprint suite configuration the engine
+// benchmarks share.
+func benchSuite() engine.SuiteConfig {
+	return engine.DefaultSuiteConfig(8192, true)
+}
+
+// BenchmarkSuiteSerial runs the whole reproduction suite on a single
+// worker — the historical sequential cmd/repro behavior.
+func BenchmarkSuiteSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		outs := engine.RunJobs(engine.Suite(benchSuite()), 1)
+		if err := engine.FirstError(outs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteParallel4 runs the same suite on four workers. The
+// experiments are independent (each builds its own core.System), so
+// wall clock should drop near-linearly until the longest single job —
+// the graph study — becomes the critical path.
+func BenchmarkSuiteParallel4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		outs := engine.RunJobs(engine.Suite(benchSuite()), 4)
+		if err := engine.FirstError(outs); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	repro [-out results] [-scale 1024] [-quick]
+//	repro [-out results] [-scale 1024] [-quick] [-parallel N] [-channels N]
 //
 // -quick shrinks footprints (scale 8192, smaller graphs) for a fast
 // sanity pass; the defaults match the calibrated study reported in
-// EXPERIMENTS.md.
+// EXPERIMENTS.md. -parallel runs the experiment suite on N workers
+// (default: one per CPU); artifacts and report order are identical at
+// every worker count because each experiment builds its own system and
+// outcomes are merged by job order, not completion order. -channels
+// sets the IMC channel count of the multichannel sharding self-check
+// (default 6, the Cascade Lake socket).
 package main
 
 import (
@@ -16,225 +21,92 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
-	"twolm/internal/experiments"
-	"twolm/internal/perfcounter"
-	"twolm/internal/results"
+	"twolm/internal/engine"
 )
 
 func main() {
 	out := flag.String("out", "results", "output directory")
 	scale := flag.Uint64("scale", 1024, "footprint scale divisor (power of two)")
 	quick := flag.Bool("quick", false, "small footprints for a fast pass")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "experiment worker count (1 = serial)")
+	channels := flag.Int("channels", 6, "IMC channels in the sharding self-check")
 	flag.Parse()
 
-	if err := run(*out, *scale, *quick); err != nil {
+	if err := run(*out, *scale, *quick, *parallel, *channels); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
 }
 
-// artifact writes a table as both .txt and .csv.
-func artifact(dir, name string, t *results.Table) error {
-	fmt.Printf("== %s\n%s\n", name, t.String())
-	txt, err := os.Create(filepath.Join(dir, name+".txt"))
-	if err != nil {
-		return err
+// writeArtifact persists one artifact by payload type: tables as
+// rendered .txt plus .csv data, counter series as .csv, text as .txt.
+func writeArtifact(dir string, a engine.Artifact) error {
+	switch {
+	case a.Table != nil:
+		fmt.Printf("== %s\n%s\n", a.Name, a.Table.String())
+		txt, err := os.Create(filepath.Join(dir, a.Name+".txt"))
+		if err != nil {
+			return err
+		}
+		defer txt.Close()
+		if err := a.Table.Fprint(txt); err != nil {
+			return err
+		}
+		csv, err := os.Create(filepath.Join(dir, a.Name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer csv.Close()
+		return a.Table.WriteCSV(csv)
+	case a.Series != nil:
+		f, err := os.Create(filepath.Join(dir, a.Name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return a.Series.WriteCSV(f)
+	case a.Text != "":
+		return os.WriteFile(filepath.Join(dir, a.Name+".txt"), []byte(a.Text), 0o644)
 	}
-	defer txt.Close()
-	if err := t.Fprint(txt); err != nil {
-		return err
-	}
-	csv, err := os.Create(filepath.Join(dir, name+".csv"))
-	if err != nil {
-		return err
-	}
-	defer csv.Close()
-	return t.WriteCSV(csv)
+	return nil
 }
 
-// trace writes a counter series as CSV.
-func trace(dir, name string, s *perfcounter.Series) error {
-	if s == nil {
-		return nil
+// run executes the suite on the worker pool and writes artifacts in
+// job order, so the report reads identically at any worker count.
+func run(dir string, scale uint64, quick bool, parallel, channels int) error {
+	// Reject bad input up front: the pool reports job errors only after
+	// the whole suite drains, which is the wrong place to learn about a
+	// typo in a flag.
+	if scale == 0 || scale&(scale-1) != 0 {
+		return fmt.Errorf("-scale %d must be a nonzero power of two", scale)
 	}
-	f, err := os.Create(filepath.Join(dir, name+".csv"))
-	if err != nil {
-		return err
+	if channels < 1 {
+		return fmt.Errorf("-channels %d must be positive", channels)
 	}
-	defer f.Close()
-	return s.WriteCSV(f)
-}
-
-func run(dir string, scale uint64, quick bool) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	start := time.Now()
 
-	// --- microbenchmarks: Table I, Figures 2 and 4 -------------------
-	micro := experiments.DefaultMicroConfig()
-	micro.Scale = scale
-	if quick {
-		micro.Scale = 8192
+	cfg := engine.DefaultSuiteConfig(scale, quick)
+	cfg.Multi.Channels = channels
+	jobs := engine.Suite(cfg)
+	if parallel > 1 {
+		fmt.Printf("running %d experiments on %d workers\n", len(jobs), parallel)
 	}
-	step := func(name string, fn func() (*results.Table, error)) error {
-		t, err := fn()
-		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
+	outs := engine.RunJobs(jobs, parallel)
+
+	for _, o := range outs {
+		if o.Err != nil {
+			return fmt.Errorf("%s: %w", o.Job, o.Err)
 		}
-		return artifact(dir, name, t)
-	}
-	if err := step("fig2a_nvram_read_bw", func() (*results.Table, error) { return experiments.Fig2a(micro) }); err != nil {
-		return err
-	}
-	if err := step("fig2b_nvram_write_bw", func() (*results.Table, error) { return experiments.Fig2b(micro) }); err != nil {
-		return err
-	}
-	if err := step("table1_access_amplification", func() (*results.Table, error) { return experiments.Table1(micro) }); err != nil {
-		return err
-	}
-	fig4 := []struct {
-		name string
-		fn   func(experiments.MicroConfig) (*results.Table, []experiments.Fig4Row, error)
-	}{
-		{"fig4a_read_clean_miss", experiments.Fig4a},
-		{"fig4b_write_dirty_miss", experiments.Fig4b},
-		{"fig4c_rmw_ddo", experiments.Fig4c},
-	}
-	for _, f := range fig4 {
-		t, _, err := f.fn(micro)
-		if err != nil {
-			return fmt.Errorf("%s: %w", f.name, err)
-		}
-		if err := artifact(dir, f.name, t); err != nil {
-			return err
-		}
-	}
-
-	// --- CNN case study: Figures 5, 6, 10 and Table II ---------------
-	cnn := experiments.DefaultCNNConfig()
-	cnn.Scale = scale
-	if quick {
-		cnn.Scale = 8192
-	}
-	fig5, err := experiments.Fig5(cnn)
-	if err != nil {
-		return fmt.Errorf("fig5: %w", err)
-	}
-	if err := artifact(dir, "fig5_densenet_summary", fig5.Summary); err != nil {
-		return err
-	}
-	if err := artifact(dir, "fig5d_densenet_liveness", fig5.Liveness); err != nil {
-		return err
-	}
-	heat, err := os.Create(filepath.Join(dir, "fig5d_heatmap.txt"))
-	if err != nil {
-		return err
-	}
-	if err := fig5.Heatmap.Fprint(heat); err != nil {
-		heat.Close()
-		return err
-	}
-	heat.Close()
-	if err := trace(dir, "fig5_densenet_trace", fig5.Trace); err != nil {
-		return err
-	}
-	fig6, err := experiments.Fig6(cnn)
-	if err != nil {
-		return fmt.Errorf("fig6: %w", err)
-	}
-	if err := artifact(dir, "fig6_dense_block_kernels", fig6); err != nil {
-		return err
-	}
-	fig10, err := experiments.Fig10(cnn)
-	if err != nil {
-		return fmt.Errorf("fig10: %w", err)
-	}
-	if err := artifact(dir, "fig10_autotm_phases", fig10.PhaseTable); err != nil {
-		return err
-	}
-	if err := trace(dir, "fig10_autotm_trace", fig10.Trace); err != nil {
-		return err
-	}
-	table2, _, err := experiments.Table2(cnn)
-	if err != nil {
-		return fmt.Errorf("table2: %w", err)
-	}
-	if err := artifact(dir, "table2_cnn_2lm_vs_autotm", table2); err != nil {
-		return err
-	}
-
-	// --- graph case study: Figures 7, 8, 9 and the Sage table --------
-	gcfg := experiments.DefaultGraphConfig()
-	if quick {
-		gcfg.Scale = 16384
-		gcfg.SmallScale = 14
-		gcfg.LargeScale = 19
-		gcfg.PRRounds = 3
-	}
-	study, err := experiments.RunGraphStudy(gcfg)
-	if err != nil {
-		return fmt.Errorf("graph study: %w", err)
-	}
-	if err := artifact(dir, "fig7_graph_kernels_2lm", study.Fig7()); err != nil {
-		return err
-	}
-	if err := artifact(dir, "fig8_data_moved", study.Fig8()); err != nil {
-		return err
-	}
-	if err := artifact(dir, "fig9_pagerank_traces", study.Fig9()); err != nil {
-		return err
-	}
-	small, large := study.Fig9Traces()
-	if err := trace(dir, "fig9a_pr_"+study.Small.Name, small); err != nil {
-		return err
-	}
-	if err := trace(dir, "fig9bc_pr_"+study.Large.Name, large); err != nil {
-		return err
-	}
-	if err := artifact(dir, "sage_vs_2lm", study.SageTable()); err != nil {
-		return err
-	}
-
-	// --- ablations and co-design (beyond the paper's measurements) ---
-	if err := step("ablation_ddo", func() (*results.Table, error) { return experiments.AblationDDO(micro) }); err != nil {
-		return err
-	}
-	if err := step("ablation_write_policy", func() (*results.Table, error) { return experiments.AblationWritePolicy(micro) }); err != nil {
-		return err
-	}
-	if err := step("ablation_associativity", func() (*results.Table, error) { return experiments.AblationAssociativity(cnn, nil) }); err != nil {
-		return err
-	}
-	if err := step("codesign_dma", func() (*results.Table, error) { return experiments.CoDesign(cnn) }); err != nil {
-		return err
-	}
-	embedCfg := experiments.DefaultEmbedConfig()
-	if quick {
-		embedCfg.Scale = 16384
-		embedCfg.Model.RowsPerTable = 1 << 15
-	}
-	if err := step("embedding_dlrm", func() (*results.Table, error) { return experiments.EmbedStudy(embedCfg) }); err != nil {
-		return err
-	}
-
-	// --- final acceptance pass: the paper's claims, re-verified ------
-	claimsMicro := micro
-	claimsCNN := cnn
-	claimsGraphs := gcfg
-	claimsTable, claims, err := experiments.CheckClaims(claimsMicro, claimsCNN, claimsGraphs)
-	if err != nil {
-		return fmt.Errorf("claims check: %w", err)
-	}
-	if err := artifact(dir, "claims_check", claimsTable); err != nil {
-		return err
-	}
-	for _, c := range claims {
-		if !c.Pass {
-			return fmt.Errorf("claims check failed: %s (%s): measured %s, expected %s",
-				c.ID, c.Text, c.Measured, c.Expected)
+		for _, a := range o.Artifacts {
+			if err := writeArtifact(dir, a); err != nil {
+				return fmt.Errorf("%s: %w", o.Job, err)
+			}
 		}
 	}
 

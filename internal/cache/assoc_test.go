@@ -178,6 +178,33 @@ func TestAssocOwnedFlag(t *testing.T) {
 	}
 }
 
+// TestAssocInstallClearsStaleFlags: re-allocating a slot must drop the
+// victim's dirty and LLC-owned bits — a stale owned bit on the new
+// occupant would let the IMC's Dirty Data Optimization skip a tag check
+// for a line the on-chip hierarchy never acquired.
+func TestAssocInstallClearsStaleFlags(t *testing.T) {
+	c := newAssoc(t, mem.KiB, 1)
+	victim := uint64(3 * mem.Line)
+	h, _ := c.Probe(victim)
+	c.Install(h, victim)
+	c.MarkDirty(h)
+	c.SetLLCOwned(h, true)
+
+	// Conflicting install replaces the victim in the same slot.
+	conflicting := victim + c.Sets()*mem.Line
+	h2, res := c.Probe(conflicting)
+	if h2 != h || res != MissDirty {
+		t.Fatalf("conflict probe = handle %d res %v, want handle %d miss-dirty", h2, res, h)
+	}
+	c.Install(h2, conflicting)
+	if c.LLCOwned(h2) {
+		t.Error("Install preserved the victim's LLC-owned bit")
+	}
+	if c.IsDirty(h2) {
+		t.Error("Install preserved the victim's dirty bit")
+	}
+}
+
 func TestAssocForEachDirtyAndReset(t *testing.T) {
 	c := newAssoc(t, mem.KiB, 2)
 	want := map[uint64]bool{}

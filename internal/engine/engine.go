@@ -1,0 +1,256 @@
+// Package engine scales the simulator beyond a single memory
+// controller: it shards the physical address space across N independent
+// imc.Controller instances with the line-interleaved channel mapping of
+// the real Cascade Lake platform (6 IMC channels per socket), and runs
+// experiment suites concurrently on a worker pool.
+//
+// # Channel sharding
+//
+// A Sharded controller routes line address L to channel L mod N, and
+// presents the channel-local address L div N to that channel's
+// controller — exactly how the socket's system address decoder
+// interleaves consecutive lines across IMC channels. Each channel owns
+// a 1/N slice of the DRAM cache and the NVRAM space, with its own tag
+// store, modules and counters; channels share no state, so they can be
+// driven from separate goroutines without synchronization.
+//
+// # Determinism guarantee
+//
+// When N divides the serial controller's set count (always true for the
+// Cascade Lake geometry, whose capacities carry the factor 6), line
+// interleaving maps every serial cache set onto exactly one
+// channel-local set, bijectively, preserving tags: serial set s lands
+// on channel s mod N as local set s div N, and a line's local tag
+// equals its serial tag. Cache decisions (hit, clean/dirty miss, victim
+// choice, LRU order, ownership bits) are purely per-set, so each
+// channel reproduces the serial controller's per-set decision sequences
+// exactly, and the field-wise merge of the channel counters via
+// imc.Counters.Add — commutative and associative, hence
+// order-independent — is byte-identical to the serial run's counters.
+// TestShardedMatchesSerial asserts this property over random streams.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"twolm/internal/cache"
+	"twolm/internal/dram"
+	"twolm/internal/imc"
+	"twolm/internal/mem"
+	"twolm/internal/nvram"
+)
+
+// ShardConfig assembles a Sharded controller.
+type ShardConfig struct {
+	// Channels is the number of IMC channels (6 on Cascade Lake).
+	Channels int
+	// DRAMCapacity is the total DRAM cache capacity in bytes across all
+	// channels; each channel owns 1/Channels of it.
+	DRAMCapacity uint64
+	// NVRAMCapacity is the total NVRAM capacity in bytes.
+	NVRAMCapacity uint64
+	// Policy is the per-channel controller policy.
+	Policy imc.Policy
+}
+
+// Sharded is an N-channel memory controller: N independent
+// imc.Controllers over a line-interleaved address split.
+type Sharded struct {
+	shards []*imc.Controller
+	n      uint64
+}
+
+// NewSharded builds a sharded controller. The per-channel DRAM slice
+// must hold a whole number of sets (equivalently: Channels must divide
+// the serial set count), which is what makes the sharded run
+// counter-identical to a serial run — see the package documentation.
+func NewSharded(cfg ShardConfig) (*Sharded, error) {
+	if cfg.Channels < 1 {
+		return nil, fmt.Errorf("engine: channel count %d must be positive", cfg.Channels)
+	}
+	n := uint64(cfg.Channels)
+	ways := uint64(cfg.Policy.Ways)
+	if cfg.Policy.Ways < 1 {
+		return nil, fmt.Errorf("engine: policy ways %d must be >= 1", cfg.Policy.Ways)
+	}
+	if cfg.DRAMCapacity == 0 || cfg.DRAMCapacity%(n*ways*mem.Line) != 0 {
+		return nil, fmt.Errorf("engine: DRAM capacity %d must split into %d channels of whole %d-way sets",
+			cfg.DRAMCapacity, cfg.Channels, cfg.Policy.Ways)
+	}
+	if cfg.NVRAMCapacity == 0 || cfg.NVRAMCapacity%(n*mem.Line) != 0 {
+		return nil, fmt.Errorf("engine: NVRAM capacity %d must split into %d channels of whole lines",
+			cfg.NVRAMCapacity, cfg.Channels)
+	}
+	s := &Sharded{shards: make([]*imc.Controller, cfg.Channels), n: n}
+	for i := range s.shards {
+		d, err := dram.New(1, cfg.DRAMCapacity/n)
+		if err != nil {
+			return nil, fmt.Errorf("engine: channel %d: %w", i, err)
+		}
+		nv, err := nvram.New(1, cfg.NVRAMCapacity/n)
+		if err != nil {
+			return nil, fmt.Errorf("engine: channel %d: %w", i, err)
+		}
+		ctrl, err := imc.NewWithPolicy(d, nv, cfg.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("engine: channel %d: %w", i, err)
+		}
+		s.shards[i] = ctrl
+	}
+	return s, nil
+}
+
+// Channels returns the channel count.
+func (s *Sharded) Channels() int { return len(s.shards) }
+
+// Shard returns channel i's controller, for per-channel inspection.
+func (s *Sharded) Shard(i int) *imc.Controller { return s.shards[i] }
+
+// ChannelOf returns the channel that owns addr's line.
+func (s *Sharded) ChannelOf(addr uint64) int {
+	return int((addr >> mem.LineShift) % s.n)
+}
+
+// route resolves addr to its owning channel and channel-local address.
+// The sub-line offset is preserved so media-granularity modeling in the
+// NVRAM module keeps seeing byte addresses.
+func (s *Sharded) route(addr uint64) (ctrl *imc.Controller, local uint64) {
+	line := addr >> mem.LineShift
+	local = (line/s.n)<<mem.LineShift | (addr & (mem.Line - 1))
+	return s.shards[line%s.n], local
+}
+
+// LLCRead services a demand read through the owning channel.
+func (s *Sharded) LLCRead(addr uint64) cache.LookupResult {
+	ctrl, local := s.route(addr)
+	return ctrl.LLCRead(local)
+}
+
+// LLCWrite services an LLC writeback through the owning channel.
+func (s *Sharded) LLCWrite(addr uint64) (cache.LookupResult, bool) {
+	ctrl, local := s.route(addr)
+	return ctrl.LLCWrite(local)
+}
+
+// Counters returns the counters of all channels merged field-wise via
+// imc.Counters.Add. Add is commutative and associative, so the merge is
+// independent of channel order and of the interleaving the scheduler
+// chose during a parallel replay.
+func (s *Sharded) Counters() imc.Counters {
+	var total imc.Counters
+	for _, sh := range s.shards {
+		total = total.Add(sh.Counters())
+	}
+	return total
+}
+
+// ChannelCounters returns a per-channel counter snapshot, for balance
+// inspection.
+func (s *Sharded) ChannelCounters() []imc.Counters {
+	out := make([]imc.Counters, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Counters()
+	}
+	return out
+}
+
+// ResetCounters zeroes every channel's counters (and, as on the
+// single-controller path, the backing module counters).
+func (s *Sharded) ResetCounters() {
+	for _, sh := range s.shards {
+		sh.ResetCounters()
+	}
+}
+
+// FlushAll flushes every channel's DRAM cache.
+func (s *Sharded) FlushAll() {
+	for _, sh := range s.shards {
+		sh.FlushAll()
+	}
+}
+
+// Op is one LLC-level request: a demand read or a writeback.
+type Op struct {
+	Write bool
+	Addr  uint64
+}
+
+// Replay drives the ops through the sharded controller in order on the
+// calling goroutine.
+func (s *Sharded) Replay(ops []Op) {
+	for _, op := range ops {
+		if op.Write {
+			s.LLCWrite(op.Addr)
+		} else {
+			s.LLCRead(op.Addr)
+		}
+	}
+}
+
+// partition splits ops into per-channel subsequences, preserving the
+// original relative order within each channel — the property that keeps
+// per-set decision sequences identical to a serial replay.
+func (s *Sharded) partition(ops []Op) [][]Op {
+	counts := make([]int, len(s.shards))
+	for _, op := range ops {
+		counts[s.ChannelOf(op.Addr)]++
+	}
+	parts := make([][]Op, len(s.shards))
+	for i, c := range counts {
+		parts[i] = make([]Op, 0, c)
+	}
+	for _, op := range ops {
+		ch := s.ChannelOf(op.Addr)
+		parts[ch] = append(parts[ch], op)
+	}
+	return parts
+}
+
+// ReplayParallel partitions ops by channel and drives the channels
+// concurrently on up to workers goroutines. Each channel is owned by
+// exactly one goroutine, so no channel state is shared; the merged
+// counters equal those of a serial Replay of the same ops.
+func (s *Sharded) ReplayParallel(ops []Op, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(s.shards) {
+		workers = len(s.shards)
+	}
+	parts := s.partition(ops)
+	if workers == 1 {
+		for ch, part := range parts {
+			s.replayLocal(ch, part)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Channels are distributed round-robin; each is touched by
+			// exactly one worker.
+			for ch := w; ch < len(parts); ch += workers {
+				s.replayLocal(ch, parts[ch])
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// replayLocal drives one channel's subsequence, translating global
+// addresses to channel-local ones.
+func (s *Sharded) replayLocal(ch int, part []Op) {
+	ctrl := s.shards[ch]
+	for _, op := range part {
+		line := op.Addr >> mem.LineShift
+		local := (line/s.n)<<mem.LineShift | (op.Addr & (mem.Line - 1))
+		if op.Write {
+			ctrl.LLCWrite(local)
+		} else {
+			ctrl.LLCRead(local)
+		}
+	}
+}

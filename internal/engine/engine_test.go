@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"twolm/internal/dram"
+	"twolm/internal/imc"
+	"twolm/internal/mem"
+	"twolm/internal/nvram"
+)
+
+// Geometry used across the tests: 768 serial cache lines, so the set
+// count is divisible by every tested channel count at 1 and 2 ways.
+const (
+	testDRAM  = 48 * mem.KiB
+	testNVRAM = 288 * mem.KiB
+)
+
+func newTestSharded(t *testing.T, channels int, policy imc.Policy) *Sharded {
+	t.Helper()
+	s, err := NewSharded(ShardConfig{
+		Channels:      channels,
+		DRAMCapacity:  testDRAM,
+		NVRAMCapacity: testNVRAM,
+		Policy:        policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newTestSerial(t *testing.T, policy imc.Policy) *imc.Controller {
+	t.Helper()
+	d, err := dram.New(1, testDRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := nvram.New(1, testNVRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := imc.NewWithPolicy(d, nv, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl
+}
+
+// randomOps generates a reproducible mixed read/write stream over the
+// NVRAM address range, line-aligned with occasional sub-line offsets.
+func randomOps(seed int64, n int) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	lines := uint64(testNVRAM / mem.Line)
+	ops := make([]Op, n)
+	for i := range ops {
+		addr := (rng.Uint64() % lines) * mem.Line
+		if rng.Intn(4) == 0 {
+			addr += rng.Uint64() % mem.Line // sub-line offset
+		}
+		ops[i] = Op{Write: rng.Intn(3) == 0, Addr: addr}
+	}
+	return ops
+}
+
+func replaySerial(ctrl *imc.Controller, ops []Op) {
+	for _, op := range ops {
+		if op.Write {
+			ctrl.LLCWrite(op.Addr)
+		} else {
+			ctrl.LLCRead(op.Addr)
+		}
+	}
+}
+
+// TestShardedMatchesSerial is the determinism property the engine
+// rests on: for every channel count dividing the set count and every
+// policy, a sharded replay (serial or parallel) produces merged
+// counters identical to the single-controller run.
+func TestShardedMatchesSerial(t *testing.T) {
+	policies := map[string]imc.Policy{
+		"hardware": imc.HardwarePolicy(),
+	}
+	assoc := imc.HardwarePolicy()
+	assoc.Ways = 2
+	policies["2way"] = assoc
+	noRA := imc.HardwarePolicy()
+	noRA.ReadAllocate = false
+	policies["no-read-allocate"] = noRA
+
+	for name, policy := range policies {
+		for _, channels := range []int{1, 2, 3, 6} {
+			for _, workers := range []int{1, 4} {
+				ops := randomOps(int64(channels)*1000+int64(workers), 20000)
+
+				serial := newTestSerial(t, policy)
+				replaySerial(serial, ops)
+
+				sharded := newTestSharded(t, channels, policy)
+				sharded.ReplayParallel(ops, workers)
+
+				if got, want := sharded.Counters(), serial.Counters(); got != want {
+					t.Errorf("%s channels=%d workers=%d: counters diverge\n sharded %v\n serial  %v",
+						name, channels, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestReplayDeterministic: two identical parallel replays agree with
+// each other and with the in-order Replay, per channel not just in the
+// merge.
+func TestReplayDeterministic(t *testing.T) {
+	ops := randomOps(42, 30000)
+	run := func(parallel bool) []imc.Counters {
+		s := newTestSharded(t, 6, imc.HardwarePolicy())
+		if parallel {
+			s.ReplayParallel(ops, 6)
+		} else {
+			s.Replay(ops)
+		}
+		return s.ChannelCounters()
+	}
+	a, b, c := run(true), run(true), run(false)
+	for ch := range a {
+		if a[ch] != b[ch] {
+			t.Errorf("channel %d: parallel replays diverge:\n %v\n %v", ch, a[ch], b[ch])
+		}
+		if a[ch] != c[ch] {
+			t.Errorf("channel %d: parallel vs serial replay diverge:\n %v\n %v", ch, a[ch], c[ch])
+		}
+	}
+}
+
+// TestShardedRouting: every address lands on channel line mod N, and
+// per-channel demand counters account for exactly the ops routed there.
+func TestShardedRouting(t *testing.T) {
+	s := newTestSharded(t, 3, imc.HardwarePolicy())
+	want := make([]uint64, 3)
+	ops := randomOps(7, 5000)
+	for _, op := range ops {
+		line := op.Addr >> mem.LineShift
+		if ch := s.ChannelOf(op.Addr); ch != int(line%3) {
+			t.Fatalf("ChannelOf(%#x) = %d, want %d", op.Addr, ch, line%3)
+		}
+		want[line%3]++
+	}
+	s.Replay(ops)
+	for ch, ctr := range s.ChannelCounters() {
+		if ctr.Demand() != want[ch] {
+			t.Errorf("channel %d served %d demands, want %d", ch, ctr.Demand(), want[ch])
+		}
+	}
+}
+
+// TestShardedResetAndFlush: ResetCounters zeroes the merge;
+// FlushAll drains dirty lines so a fresh stream sees clean misses.
+func TestShardedResetAndFlush(t *testing.T) {
+	s := newTestSharded(t, 2, imc.HardwarePolicy())
+	ops := randomOps(3, 2000)
+	s.Replay(ops)
+	if s.Counters().Demand() == 0 {
+		t.Fatal("replay produced no demand")
+	}
+	s.FlushAll()
+	s.ResetCounters()
+	if got := s.Counters(); got != (imc.Counters{}) {
+		t.Errorf("counters after reset: %v", got)
+	}
+	// After a flush, rereading a previously dirtied line must not find
+	// dirty state to write back beyond its own traffic.
+	s.LLCRead(0)
+	if got := s.Counters().NVRAMWrite; got != 0 {
+		t.Errorf("read after flush caused %d NVRAM writes", got)
+	}
+}
+
+func TestNewShardedValidation(t *testing.T) {
+	base := ShardConfig{
+		Channels:      6,
+		DRAMCapacity:  testDRAM,
+		NVRAMCapacity: testNVRAM,
+		Policy:        imc.HardwarePolicy(),
+	}
+	cases := map[string]func(*ShardConfig){
+		"zero channels":        func(c *ShardConfig) { c.Channels = 0 },
+		"negative channels":    func(c *ShardConfig) { c.Channels = -1 },
+		"zero ways":            func(c *ShardConfig) { c.Policy.Ways = 0 },
+		"zero dram":            func(c *ShardConfig) { c.DRAMCapacity = 0 },
+		"indivisible dram":     func(c *ShardConfig) { c.DRAMCapacity = 5 * mem.KiB },
+		"zero nvram":           func(c *ShardConfig) { c.NVRAMCapacity = 0 },
+		"indivisible nvram":    func(c *ShardConfig) { c.NVRAMCapacity = testNVRAM + mem.Line },
+		"sets not split whole": func(c *ShardConfig) { c.Channels = 5; c.DRAMCapacity = 48 * mem.KiB },
+	}
+	for name, mutate := range cases {
+		cfg := base
+		mutate(&cfg)
+		if _, err := NewSharded(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := NewSharded(base); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func BenchmarkReplaySerial(b *testing.B) {
+	ops := randomOps(1, 100000)
+	s, err := NewSharded(ShardConfig{
+		Channels: 6, DRAMCapacity: testDRAM, NVRAMCapacity: testNVRAM,
+		Policy: imc.HardwarePolicy(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Replay(ops)
+	}
+}
+
+func BenchmarkReplayParallel(b *testing.B) {
+	ops := randomOps(1, 100000)
+	s, err := NewSharded(ShardConfig{
+		Channels: 6, DRAMCapacity: testDRAM, NVRAMCapacity: testNVRAM,
+		Policy: imc.HardwarePolicy(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ReplayParallel(ops, 6)
+	}
+}

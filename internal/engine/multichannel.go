@@ -1,0 +1,186 @@
+// Multi-channel amplification experiment. The paper's platform
+// interleaves 2LM traffic across 6 IMC channels per socket; the
+// single-controller model aggregates them. This experiment drives the
+// Table-I access scenarios through a channel-sharded controller,
+// demonstrating (a) that the line-interleaved split preserves the exact
+// merged counters of the serial model — the determinism guarantee the
+// parallel engine rests on — and (b) how evenly the 2LM amplification
+// load spreads across channels, which is what makes per-channel
+// controller parallelism representative of the real socket.
+
+package engine
+
+import (
+	"fmt"
+
+	"twolm/internal/dram"
+	"twolm/internal/imc"
+	"twolm/internal/mem"
+	"twolm/internal/nvram"
+	"twolm/internal/platform"
+	"twolm/internal/results"
+)
+
+// MultiChannelConfig parameterizes the sharded-controller experiment.
+type MultiChannelConfig struct {
+	// Scale is the footprint divisor (power of two; default 8192).
+	Scale uint64
+	// Channels is the shard count (default 6, the Cascade Lake socket).
+	Channels int
+	// Workers bounds the goroutines driving the sharded replay
+	// (default: one per channel).
+	Workers int
+}
+
+// DefaultMultiChannelConfig returns the paper-geometry configuration.
+func DefaultMultiChannelConfig() MultiChannelConfig {
+	return MultiChannelConfig{Scale: 8192, Channels: 6}
+}
+
+func (c MultiChannelConfig) withDefaults() MultiChannelConfig {
+	d := DefaultMultiChannelConfig()
+	if c.Scale == 0 {
+		c.Scale = d.Scale
+	}
+	if c.Channels == 0 {
+		c.Channels = d.Channels
+	}
+	if c.Workers == 0 {
+		c.Workers = c.Channels
+	}
+	return c
+}
+
+// mcScenario is one IMC-level workload of the experiment.
+type mcScenario struct {
+	name string
+	ops  func(cacheLines uint64) []Op
+}
+
+// mcScenarios generates the Table-I regimes as LLC-level op streams.
+// Addresses are line-granular over a region twice the DRAM cache, so
+// the second half aliases the first in a direct-mapped cache.
+func mcScenarios() []mcScenario {
+	return []mcScenario{
+		{"read miss (clean)", func(lines uint64) []Op {
+			// One sequential pass over 2x the cache: every read misses
+			// clean (nothing is ever dirty).
+			ops := make([]Op, 0, 2*lines)
+			for i := uint64(0); i < 2*lines; i++ {
+				ops = append(ops, Op{Addr: i * mem.Line})
+			}
+			return ops
+		}},
+		{"write miss (dirty)", func(lines uint64) []Op {
+			// Two NT-store passes: the first dirties the cache, the
+			// second passes' aliasing writes miss dirty.
+			ops := make([]Op, 0, 4*lines)
+			for pass := 0; pass < 2; pass++ {
+				for i := uint64(0); i < 2*lines; i++ {
+					ops = append(ops, Op{Write: true, Addr: i * mem.Line})
+				}
+			}
+			return ops
+		}},
+		{"rmw (ddo writeback)", func(lines uint64) []Op {
+			// Read-for-ownership then writeback of a resident line: the
+			// writeback takes the Dirty Data Optimization.
+			ops := make([]Op, 0, 2*lines)
+			for i := uint64(0); i < lines; i++ {
+				ops = append(ops, Op{Addr: i * mem.Line}, Op{Write: true, Addr: i * mem.Line})
+			}
+			return ops
+		}},
+	}
+}
+
+// MultiChannel runs the experiment and returns the result table. It
+// errors if any scenario's sharded merged counters diverge from the
+// serial single-controller run — that equality is a correctness
+// property, not a statistic.
+func MultiChannel(cfg MultiChannelConfig) (*results.Table, error) {
+	cfg = cfg.withDefaults()
+	plat := platform.CascadeLake(1, cfg.Scale, 24)
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+
+	table := results.NewTable(
+		fmt.Sprintf("Multi-channel 2LM amplification (%d line-interleaved channels)", cfg.Channels),
+		"scenario", "demand", "amplification", "counters_match", "channel_balance")
+
+	for _, sc := range mcScenarios() {
+		serial, err := newSerialController(plat)
+		if err != nil {
+			return nil, err
+		}
+		sharded, err := NewSharded(ShardConfig{
+			Channels:      cfg.Channels,
+			DRAMCapacity:  plat.DRAMSize(),
+			NVRAMCapacity: plat.NVRAMSize(),
+			Policy:        imc.HardwarePolicy(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		ops := sc.ops(plat.DRAMSize() / mem.Line)
+
+		for _, op := range ops {
+			if op.Write {
+				serial.LLCWrite(op.Addr)
+			} else {
+				serial.LLCRead(op.Addr)
+			}
+		}
+		sharded.ReplayParallel(ops, cfg.Workers)
+
+		sctr, mctr := serial.Counters(), sharded.Counters()
+		if sctr != mctr {
+			return nil, fmt.Errorf("engine: %s: sharded counters diverge from serial:\n serial  %v\n sharded %v",
+				sc.name, sctr, mctr)
+		}
+		table.AddRow(sc.name,
+			fmt.Sprint(mctr.Demand()),
+			fmt.Sprintf("%.3f", mctr.Amplification()),
+			"yes",
+			fmt.Sprintf("%.3f", channelBalance(sharded.ChannelCounters())))
+	}
+	return table, nil
+}
+
+// newSerialController builds the single-controller reference for the
+// platform geometry, mirroring how core.System assembles its 2LM path.
+func newSerialController(plat platform.Config) (*imc.Controller, error) {
+	d, err := dram.New(plat.Channels(), plat.DRAMSize())
+	if err != nil {
+		return nil, err
+	}
+	nv, err := nvram.New(plat.Channels(), plat.NVRAMSize())
+	if err != nil {
+		return nil, err
+	}
+	return imc.New(d, nv)
+}
+
+// channelBalance returns min/max per-channel demand — 1.0 is a
+// perfectly even spread, the line-interleaved ideal for streaming
+// workloads.
+func channelBalance(cs []imc.Counters) float64 {
+	if len(cs) == 0 {
+		return 0
+	}
+	min, max := cs[0].Demand(), cs[0].Demand()
+	for _, c := range cs[1:] {
+		d := c.Demand()
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return float64(min) / float64(max)
+}

@@ -1,0 +1,35 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMultiChannel runs the sharded-vs-serial experiment at a tiny
+// scale; MultiChannel itself errors if any scenario's merged counters
+// diverge from the serial reference, so success asserts the
+// determinism property on the real platform geometry.
+func TestMultiChannel(t *testing.T) {
+	table, err := MultiChannel(MultiChannelConfig{Scale: 1 << 21, Channels: 6, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := table.String()
+	for _, want := range []string{"read miss (clean)", "write miss (dirty)", "rmw (ddo writeback)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing scenario %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "no") && !strings.Contains(out, "yes") {
+		t.Errorf("counters mismatch reported:\n%s", out)
+	}
+}
+
+// TestMultiChannelDefaults: the zero config resolves to the paper
+// geometry (6 channels) without error.
+func TestMultiChannelDefaults(t *testing.T) {
+	cfg := MultiChannelConfig{}.withDefaults()
+	if cfg.Channels != 6 || cfg.Scale != 8192 || cfg.Workers != 6 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}

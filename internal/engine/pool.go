@@ -1,0 +1,117 @@
+// Worker-pool experiment runner. Every experiment in
+// internal/experiments builds its own fresh core.System and shares no
+// mutable state with its siblings, so whole experiments are
+// embarrassingly parallel; what needs care is keeping the *output*
+// deterministic. The pool executes jobs on N goroutines but returns
+// outcomes indexed by job order, so artifact files, report ordering and
+// merged counters are identical whether the suite ran on 1 worker or 16.
+
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"twolm/internal/imc"
+	"twolm/internal/perfcounter"
+	"twolm/internal/results"
+)
+
+// Artifact is one named experiment output: a rendered table, a counter
+// time series, or a preformatted text block. Exactly one of the three
+// payload fields is set.
+type Artifact struct {
+	Name   string
+	Table  *results.Table
+	Series *perfcounter.Series
+	Text   string
+}
+
+// Job is one schedulable experiment: it produces named artifacts and,
+// optionally, the raw counters it measured (for cross-job merges).
+type Job struct {
+	Name string
+	Run  func() ([]Artifact, error)
+}
+
+// Outcome is one job's result, in job order.
+type Outcome struct {
+	Job       string
+	Artifacts []Artifact
+	Err       error
+	Elapsed   time.Duration
+}
+
+// RunJobs executes the jobs on a pool of workers goroutines and returns
+// one Outcome per job, in job order regardless of completion order.
+// workers < 2 degenerates to in-order serial execution on the calling
+// goroutine. A job panic is converted into that job's Err rather than
+// tearing down the pool.
+func RunJobs(jobs []Job, workers int) []Outcome {
+	outs := make([]Outcome, len(jobs))
+	if workers < 2 {
+		for i := range jobs {
+			outs[i] = runOne(jobs[i])
+		}
+		return outs
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				// Distinct jobs write distinct slice elements; no
+				// further synchronization is needed.
+				outs[i] = runOne(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return outs
+}
+
+// runOne executes a single job, converting panics to errors.
+func runOne(j Job) (out Outcome) {
+	start := time.Now()
+	out.Job = j.Name
+	defer func() {
+		out.Elapsed = time.Since(start)
+		if r := recover(); r != nil {
+			out.Err = fmt.Errorf("engine: job %q panicked: %v", j.Name, r)
+		}
+	}()
+	out.Artifacts, out.Err = j.Run()
+	return out
+}
+
+// FirstError returns the first failed outcome's error in job order, or
+// nil if every job succeeded.
+func FirstError(outs []Outcome) error {
+	for _, o := range outs {
+		if o.Err != nil {
+			return fmt.Errorf("%s: %w", o.Job, o.Err)
+		}
+	}
+	return nil
+}
+
+// MergeCounters folds counter sets field-wise with imc.Counters.Add.
+// Add is commutative and associative over uint64 fields, so the result
+// is independent of the order jobs completed in.
+func MergeCounters(cs ...imc.Counters) imc.Counters {
+	var total imc.Counters
+	for _, c := range cs {
+		total = total.Add(c)
+	}
+	return total
+}

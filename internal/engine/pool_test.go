@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"twolm/internal/imc"
+	"twolm/internal/results"
+)
+
+// countingJobs builds n jobs that record execution and return one
+// artifact carrying their index.
+func countingJobs(n int, ran *atomic.Int64) []Job {
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job{Name: fmt.Sprintf("job%02d", i), Run: func() ([]Artifact, error) {
+			ran.Add(1)
+			t := results.NewTable(fmt.Sprintf("table %d", i), "col")
+			return []Artifact{{Name: fmt.Sprintf("art%02d", i), Table: t}}, nil
+		}}
+	}
+	return jobs
+}
+
+// TestRunJobsOrderIndependent: outcomes arrive in job order with the
+// right artifacts for every worker count, including worker counts
+// beyond the job count.
+func TestRunJobsOrderIndependent(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 32} {
+		var ran atomic.Int64
+		jobs := countingJobs(9, &ran)
+		outs := RunJobs(jobs, workers)
+		if len(outs) != len(jobs) {
+			t.Fatalf("workers=%d: %d outcomes for %d jobs", workers, len(outs), len(jobs))
+		}
+		if ran.Load() != int64(len(jobs)) {
+			t.Errorf("workers=%d: ran %d of %d jobs", workers, ran.Load(), len(jobs))
+		}
+		for i, o := range outs {
+			if o.Job != jobs[i].Name {
+				t.Errorf("workers=%d: outcome %d is %q, want %q", workers, i, o.Job, jobs[i].Name)
+			}
+			if o.Err != nil || len(o.Artifacts) != 1 || o.Artifacts[0].Name != fmt.Sprintf("art%02d", i) {
+				t.Errorf("workers=%d: outcome %d artifacts wrong: %+v err=%v", workers, i, o.Artifacts, o.Err)
+			}
+		}
+	}
+}
+
+// TestRunJobsErrorIsolation: one failing job doesn't disturb its
+// siblings, and FirstError reports the earliest failure in job order.
+func TestRunJobsErrorIsolation(t *testing.T) {
+	sentinel := errors.New("boom")
+	jobs := []Job{
+		{Name: "ok1", Run: func() ([]Artifact, error) { return nil, nil }},
+		{Name: "bad", Run: func() ([]Artifact, error) { return nil, sentinel }},
+		{Name: "ok2", Run: func() ([]Artifact, error) { return nil, nil }},
+	}
+	outs := RunJobs(jobs, 3)
+	if outs[0].Err != nil || outs[2].Err != nil {
+		t.Errorf("healthy jobs failed: %v / %v", outs[0].Err, outs[2].Err)
+	}
+	if !errors.Is(outs[1].Err, sentinel) {
+		t.Errorf("outs[1].Err = %v, want sentinel", outs[1].Err)
+	}
+	err := FirstError(outs)
+	if !errors.Is(err, sentinel) || !strings.Contains(err.Error(), "bad") {
+		t.Errorf("FirstError = %v", err)
+	}
+}
+
+// TestRunJobsPanicRecovered: a panicking job becomes an error outcome
+// rather than tearing down the pool.
+func TestRunJobsPanicRecovered(t *testing.T) {
+	jobs := []Job{
+		{Name: "panics", Run: func() ([]Artifact, error) { panic("kaboom") }},
+		{Name: "fine", Run: func() ([]Artifact, error) { return nil, nil }},
+	}
+	outs := RunJobs(jobs, 2)
+	if outs[0].Err == nil || !strings.Contains(outs[0].Err.Error(), "kaboom") {
+		t.Errorf("panic not converted: %v", outs[0].Err)
+	}
+	if outs[1].Err != nil {
+		t.Errorf("sibling failed: %v", outs[1].Err)
+	}
+}
+
+// TestMergeCounters: field-wise sum, independent of argument order.
+func TestMergeCounters(t *testing.T) {
+	a := imc.Counters{LLCRead: 1, DRAMRead: 2, NVRAMWrite: 3}
+	b := imc.Counters{LLCRead: 10, DRAMWrite: 5}
+	c := imc.Counters{NVRAMRead: 7, NVRAMWrite: 1}
+	ab := MergeCounters(a, b, c)
+	ba := MergeCounters(c, b, a)
+	if ab != ba {
+		t.Errorf("merge order-dependent: %v vs %v", ab, ba)
+	}
+	want := imc.Counters{LLCRead: 11, DRAMRead: 2, DRAMWrite: 5, NVRAMRead: 7, NVRAMWrite: 4}
+	if ab != want {
+		t.Errorf("merge = %v, want %v", ab, want)
+	}
+	if (MergeCounters()) != (imc.Counters{}) {
+		t.Error("empty merge not zero")
+	}
+}
+
+// TestSuiteShape: the suite exposes every artifact the repro contract
+// names, exactly once, in report order.
+func TestSuiteShape(t *testing.T) {
+	jobs := Suite(DefaultSuiteConfig(8192, true))
+	if len(jobs) < 15 {
+		t.Fatalf("suite has only %d jobs", len(jobs))
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if j.Name == "" || j.Run == nil {
+			t.Fatalf("malformed job %+v", j)
+		}
+		if seen[j.Name] {
+			t.Errorf("duplicate job name %q", j.Name)
+		}
+		seen[j.Name] = true
+	}
+	for _, name := range []string{
+		"fig2a_nvram_read_bw", "table1_access_amplification", "fig5_densenet",
+		"graph_study", "multichannel_sharding", "claims_check",
+	} {
+		if !seen[name] {
+			t.Errorf("suite is missing job %q", name)
+		}
+	}
+	if jobs[len(jobs)-1].Name != "claims_check" {
+		t.Errorf("claims_check must close the report, got %q", jobs[len(jobs)-1].Name)
+	}
+}

@@ -1,0 +1,164 @@
+// The paper-reproduction suite expressed as pool jobs. Each job wraps
+// one experiment family from internal/experiments and returns its
+// outputs as named artifacts; cmd/repro only decides where the bytes
+// go. Job granularity follows the experiments' natural units (one
+// figure or table each, the whole graph study as one job since its
+// figures share a Study), so a 4-worker pool keeps the long CNN and
+// graph jobs off the critical path of the short microbenchmarks.
+//
+// Artifact names — and the job order, which fixes the report order —
+// are part of the repository's output contract: they must match the
+// file names EXPERIMENTS.md documents, whether the suite runs on one
+// worker or many.
+
+package engine
+
+import (
+	"fmt"
+
+	"twolm/internal/experiments"
+	"twolm/internal/results"
+)
+
+// SuiteConfig carries the per-family experiment configurations.
+type SuiteConfig struct {
+	Micro experiments.MicroConfig
+	CNN   experiments.CNNConfig
+	Graph experiments.GraphConfig
+	Embed experiments.EmbedConfig
+	Multi MultiChannelConfig
+}
+
+// DefaultSuiteConfig returns the full-study configuration at the given
+// footprint scale; quick shrinks footprints for a fast sanity pass
+// (scale 8192, smaller graphs), matching the historical -quick flag.
+func DefaultSuiteConfig(scale uint64, quick bool) SuiteConfig {
+	cfg := SuiteConfig{
+		Micro: experiments.DefaultMicroConfig(),
+		CNN:   experiments.DefaultCNNConfig(),
+		Graph: experiments.DefaultGraphConfig(),
+		Embed: experiments.DefaultEmbedConfig(),
+		Multi: DefaultMultiChannelConfig(),
+	}
+	cfg.Micro.Scale = scale
+	cfg.CNN.Scale = scale
+	if quick {
+		cfg.Micro.Scale = 8192
+		cfg.CNN.Scale = 8192
+		cfg.Graph.Scale = 16384
+		cfg.Graph.SmallScale = 14
+		cfg.Graph.LargeScale = 19
+		cfg.Graph.PRRounds = 3
+		cfg.Embed.Scale = 16384
+		cfg.Embed.Model.RowsPerTable = 1 << 15
+	}
+	return cfg
+}
+
+// tableJob wraps a single-table experiment as a job with one artifact
+// named like the experiment.
+func tableJob(name string, fn func() (*results.Table, error)) Job {
+	return Job{Name: name, Run: func() ([]Artifact, error) {
+		t, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		return []Artifact{{Name: name, Table: t}}, nil
+	}}
+}
+
+// Suite assembles the full reproduction as a job list. Job order is
+// the report order (microbenchmarks, CNN, graphs, ablations, claims);
+// RunJobs preserves it regardless of worker count.
+func Suite(cfg SuiteConfig) []Job {
+	micro, cnn, gcfg, embed := cfg.Micro, cfg.CNN, cfg.Graph, cfg.Embed
+	fig4 := func(fn func(experiments.MicroConfig) (*results.Table, []experiments.Fig4Row, error)) func() (*results.Table, error) {
+		return func() (*results.Table, error) {
+			t, _, err := fn(micro)
+			return t, err
+		}
+	}
+	return []Job{
+		// Microbenchmarks: Table I, Figures 2 and 4.
+		tableJob("fig2a_nvram_read_bw", func() (*results.Table, error) { return experiments.Fig2a(micro) }),
+		tableJob("fig2b_nvram_write_bw", func() (*results.Table, error) { return experiments.Fig2b(micro) }),
+		tableJob("table1_access_amplification", func() (*results.Table, error) { return experiments.Table1(micro) }),
+		tableJob("fig4a_read_clean_miss", fig4(experiments.Fig4a)),
+		tableJob("fig4b_write_dirty_miss", fig4(experiments.Fig4b)),
+		tableJob("fig4c_rmw_ddo", fig4(experiments.Fig4c)),
+
+		// CNN case study: Figures 5, 6, 10 and Table II.
+		{Name: "fig5_densenet", Run: func() ([]Artifact, error) {
+			r, err := experiments.Fig5(cnn)
+			if err != nil {
+				return nil, err
+			}
+			return []Artifact{
+				{Name: "fig5_densenet_summary", Table: r.Summary},
+				{Name: "fig5d_densenet_liveness", Table: r.Liveness},
+				{Name: "fig5d_heatmap", Text: r.Heatmap.String()},
+				{Name: "fig5_densenet_trace", Series: r.Trace},
+			}, nil
+		}},
+		tableJob("fig6_dense_block_kernels", func() (*results.Table, error) { return experiments.Fig6(cnn) }),
+		{Name: "fig10_autotm", Run: func() ([]Artifact, error) {
+			r, err := experiments.Fig10(cnn)
+			if err != nil {
+				return nil, err
+			}
+			return []Artifact{
+				{Name: "fig10_autotm_phases", Table: r.PhaseTable},
+				{Name: "fig10_autotm_trace", Series: r.Trace},
+			}, nil
+		}},
+		tableJob("table2_cnn_2lm_vs_autotm", func() (*results.Table, error) {
+			t, _, err := experiments.Table2(cnn)
+			return t, err
+		}),
+
+		// Graph case study: Figures 7, 8, 9 and the Sage table. One job:
+		// the figures share a single Study's runs.
+		{Name: "graph_study", Run: func() ([]Artifact, error) {
+			study, err := experiments.RunGraphStudy(gcfg)
+			if err != nil {
+				return nil, err
+			}
+			small, large := study.Fig9Traces()
+			return []Artifact{
+				{Name: "fig7_graph_kernels_2lm", Table: study.Fig7()},
+				{Name: "fig8_data_moved", Table: study.Fig8()},
+				{Name: "fig9_pagerank_traces", Table: study.Fig9()},
+				{Name: "fig9a_pr_" + study.Small.Name, Series: small},
+				{Name: "fig9bc_pr_" + study.Large.Name, Series: large},
+				{Name: "sage_vs_2lm", Table: study.SageTable()},
+			}, nil
+		}},
+
+		// Ablations and co-design.
+		tableJob("ablation_ddo", func() (*results.Table, error) { return experiments.AblationDDO(micro) }),
+		tableJob("ablation_write_policy", func() (*results.Table, error) { return experiments.AblationWritePolicy(micro) }),
+		tableJob("ablation_associativity", func() (*results.Table, error) { return experiments.AblationAssociativity(cnn, nil) }),
+		tableJob("codesign_dma", func() (*results.Table, error) { return experiments.CoDesign(cnn) }),
+		tableJob("embedding_dlrm", func() (*results.Table, error) { return experiments.EmbedStudy(embed) }),
+
+		// Engine self-check: sharded channels reproduce serial counters.
+		tableJob("multichannel_sharding", func() (*results.Table, error) { return MultiChannel(cfg.Multi) }),
+
+		// Final acceptance pass: the paper's claims, re-verified. A
+		// failed claim fails the job (and with it the suite).
+		{Name: "claims_check", Run: func() ([]Artifact, error) {
+			t, claims, err := experiments.CheckClaims(micro, cnn, gcfg)
+			if err != nil {
+				return nil, err
+			}
+			arts := []Artifact{{Name: "claims_check", Table: t}}
+			for _, c := range claims {
+				if !c.Pass {
+					return arts, fmt.Errorf("claim %s (%s): measured %s, expected %s",
+						c.ID, c.Text, c.Measured, c.Expected)
+				}
+			}
+			return arts, nil
+		}},
+	}
+}

@@ -74,18 +74,31 @@ func (c Counters) Add(other Counters) Counters {
 	return c
 }
 
-// Sub returns c minus other field-wise; used for interval deltas.
+// sub64 subtracts b from a, clamping at zero instead of wrapping.
+func sub64(a, b uint64) uint64 {
+	if b > a {
+		return 0
+	}
+	return a - b
+}
+
+// Sub returns c minus other field-wise, clamping each field at zero;
+// used for interval deltas. Counters are monotonic, so a snapshot taken
+// later can never be smaller — a field that would underflow means the
+// snapshots were swapped, and clamping keeps the bad delta visible as
+// zero instead of a wrapped near-2^64 count that corrupts every derived
+// rate and amplification.
 func (c Counters) Sub(other Counters) Counters {
-	c.DRAMRead -= other.DRAMRead
-	c.DRAMWrite -= other.DRAMWrite
-	c.NVRAMRead -= other.NVRAMRead
-	c.NVRAMWrite -= other.NVRAMWrite
-	c.TagHit -= other.TagHit
-	c.TagMissClean -= other.TagMissClean
-	c.TagMissDirty -= other.TagMissDirty
-	c.DDO -= other.DDO
-	c.LLCRead -= other.LLCRead
-	c.LLCWrite -= other.LLCWrite
+	c.DRAMRead = sub64(c.DRAMRead, other.DRAMRead)
+	c.DRAMWrite = sub64(c.DRAMWrite, other.DRAMWrite)
+	c.NVRAMRead = sub64(c.NVRAMRead, other.NVRAMRead)
+	c.NVRAMWrite = sub64(c.NVRAMWrite, other.NVRAMWrite)
+	c.TagHit = sub64(c.TagHit, other.TagHit)
+	c.TagMissClean = sub64(c.TagMissClean, other.TagMissClean)
+	c.TagMissDirty = sub64(c.TagMissDirty, other.TagMissDirty)
+	c.DDO = sub64(c.DDO, other.DDO)
+	c.LLCRead = sub64(c.LLCRead, other.LLCRead)
+	c.LLCWrite = sub64(c.LLCWrite, other.LLCWrite)
 	return c
 }
 
@@ -174,10 +187,14 @@ func New(dramMod *dram.Module, nvramMod *nvram.Module) (*Controller, error) {
 	return NewWithPolicy(dramMod, nvramMod, HardwarePolicy())
 }
 
-// NewWithPolicy assembles a controller with an explicit policy.
+// NewWithPolicy assembles a controller with an explicit policy. A
+// policy with Ways < 1 is rejected rather than silently clamped to
+// direct mapped: an ablation config with a typo'd associativity must
+// fail loudly, not run the wrong experiment. Start from HardwarePolicy
+// and override fields to get the hardware default of 1.
 func NewWithPolicy(dramMod *dram.Module, nvramMod *nvram.Module, policy Policy) (*Controller, error) {
 	if policy.Ways < 1 {
-		policy.Ways = 1
+		return nil, fmt.Errorf("imc: policy ways %d must be >= 1 (start from HardwarePolicy to get the hardware default)", policy.Ways)
 	}
 	dc, err := cache.NewAssoc(dramMod.Capacity(), policy.Ways)
 	if err != nil {
@@ -200,6 +217,11 @@ func (c *Controller) Counters() Counters { return c.counters }
 
 // ResetCounters zeroes the event counters without touching cache state,
 // mirroring how the paper primes the cache and then measures.
+//
+// Despite its name, it also resets the backing DRAM and NVRAM modules:
+// their CAS/media counters (and the NVRAM write-combining state) belong
+// to the same measurement interval, and leaving them running would let
+// device counters diverge from the controller counters they must match.
 func (c *Controller) ResetCounters() {
 	c.counters = Counters{}
 	c.DRAM.Reset()

@@ -226,6 +226,62 @@ func TestDDOInvalidatedByConflict(t *testing.T) {
 	}
 }
 
+// TestDDOStaleOwnershipAfterWriteConflict: the paper requires DDO only
+// when the set "has not been re-allocated since" the LLC acquired the
+// line. Here the re-allocation comes from a conflicting *write* miss:
+// the later writeback of the evicted line must miss and pay the tag
+// check, never the DDO fast path.
+func TestDDOStaleOwnershipAfterWriteConflict(t *testing.T) {
+	c := newController(t, mem.KiB)
+	addr := uint64(2 * mem.Line)
+	c.LLCRead(addr) // LLC acquires addr; ownership granted
+	// Conflicting write miss re-allocates the set (install-on-miss).
+	if res, _ := c.LLCWrite(alias(c, addr, 1)); res == cache.Hit {
+		t.Fatal("conflicting write did not miss")
+	}
+	d := delta(c, func() {
+		res, ddo := c.LLCWrite(addr)
+		if ddo {
+			t.Fatal("DDO applied to a line evicted by a conflicting install")
+		}
+		if res == cache.Hit {
+			t.Fatal("evicted line still probes as resident")
+		}
+	})
+	if d.DRAMRead != 1 {
+		t.Errorf("writeback of evicted line skipped the tag check: %v", d)
+	}
+	if d.DDO != 0 {
+		t.Errorf("DDO counter incremented: %v", d)
+	}
+}
+
+// TestNoReadAllocateDoesNotGrantOwnership: with ReadAllocate off, a
+// read miss forwards from NVRAM without installing — it must not mark
+// the probe handle (some *other* resident line's slot) as LLC-owned,
+// or that occupant's next writeback would falsely skip its tag check.
+func TestNoReadAllocateDoesNotGrantOwnership(t *testing.T) {
+	p := HardwarePolicy()
+	p.ReadAllocate = false
+	c := newPolicyController(t, mem.KiB, p)
+	occupant := uint64(2 * mem.Line)
+	c.LLCWrite(occupant) // write-allocate installs it, not LLC-owned
+	// Uncached read of an alias probes the occupant's slot as victim.
+	c.LLCRead(alias(c, occupant, 1))
+	d := delta(c, func() {
+		res, ddo := c.LLCWrite(occupant)
+		if ddo {
+			t.Fatal("occupant writeback took DDO after an unrelated no-allocate read")
+		}
+		if res != cache.Hit {
+			t.Fatalf("occupant should still be resident, got %v", res)
+		}
+	})
+	if d.DRAMRead != 1 {
+		t.Errorf("occupant writeback skipped the tag check: %v", d)
+	}
+}
+
 // TestDisableDDO: the ablation switch forces the full write-hit path.
 func TestDisableDDO(t *testing.T) {
 	c := newController(t, mem.KiB)
@@ -351,6 +407,31 @@ func TestCountersAddSub(t *testing.T) {
 	b := Counters{DRAMRead: 1, DRAMWrite: 2, TagMissClean: 4, LLCWrite: 2}
 	if got := a.Add(b).Sub(b); got != a {
 		t.Errorf("Add/Sub round trip failed: %v", got)
+	}
+}
+
+// TestCountersSubClampsUnderflow: interval snapshots taken out of order
+// (earlier minus later) must clamp at zero, not wrap to near-2^64
+// values that silently corrupt every derived rate.
+func TestCountersSubClampsUnderflow(t *testing.T) {
+	earlier := Counters{DRAMRead: 10, NVRAMWrite: 1, TagHit: 5, LLCRead: 8}
+	later := Counters{DRAMRead: 25, DRAMWrite: 4, NVRAMWrite: 3, TagHit: 9, TagMissClean: 2, LLCRead: 15, LLCWrite: 2}
+
+	// Swapped-snapshot delta: every field clamps at zero.
+	if got := earlier.Sub(later); got != (Counters{}) {
+		t.Errorf("swapped-snapshot delta = {%v}, want all-zero", got)
+	}
+	// Mixed case: only the underflowing field clamps.
+	a := Counters{DRAMRead: 5, DRAMWrite: 1}
+	b := Counters{DRAMRead: 2, DRAMWrite: 7}
+	got := a.Sub(b)
+	want := Counters{DRAMRead: 3, DRAMWrite: 0}
+	if got != want {
+		t.Errorf("mixed underflow delta = {%v}, want {%v}", got, want)
+	}
+	// The correct ordering is unaffected.
+	if got := later.Sub(earlier); got.DRAMRead != 15 || got.LLCRead != 7 {
+		t.Errorf("ordered delta wrong: {%v}", got)
 	}
 }
 

@@ -32,9 +32,25 @@ func TestHardwarePolicyDefaults(t *testing.T) {
 	if p.Ways != 1 || !p.WriteAllocate || !p.ReadAllocate || p.DisableDDO {
 		t.Errorf("unexpected hardware policy: %+v", p)
 	}
-	c := newPolicyController(t, mem.KiB, Policy{WriteAllocate: true, ReadAllocate: true})
-	if c.Cache.Ways() != 1 {
-		t.Error("Ways should clamp to 1")
+}
+
+// TestInvalidWaysRejected: a zero or negative associativity is a config
+// typo and must be an error, not a silent rewrite to direct mapped.
+func TestInvalidWaysRejected(t *testing.T) {
+	d, err := dram.New(6, mem.KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := nvram.New(6, 64*mem.KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ways := range []int{0, -1, -8} {
+		p := HardwarePolicy()
+		p.Ways = ways
+		if c, err := NewWithPolicy(d, n, p); err == nil {
+			t.Errorf("Ways=%d: NewWithPolicy returned a %d-way controller, want error", ways, c.Cache.Ways())
+		}
 	}
 }
 

@@ -1,0 +1,47 @@
+// Simulator-throughput benchmarks: lines per second through the whole
+// demand pipeline (core.System -> LLC -> imc.Controller -> cache.Assoc
+// -> dram/nvram), sequential and LFSR-random, in both operating modes.
+// Unlike the per-figure benchmarks in bench_test.go, these measure the
+// simulator itself, not the modeled hardware: they are the tracked
+// perf-trajectory baseline described in DESIGN.md, and cmd/repro emits
+// the same measurement as BENCH_throughput.json.
+package twolm_test
+
+import (
+	"testing"
+
+	"twolm/internal/core"
+	"twolm/internal/engine"
+)
+
+// benchThroughput streams region-sized passes and reports lines/s.
+func benchThroughput(b *testing.B, mode core.Mode, random bool) {
+	sys, region, err := engine.NewThroughputSystem(mode, 8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Untimed warm-up pass primes the DRAM cache, mirroring the paper's
+	// measurement procedure.
+	engine.SeqPass(sys, region)
+	b.ResetTimer()
+	var lines uint64
+	for i := 0; i < b.N; i++ {
+		if random {
+			n, err := engine.RandPass(sys, region, 0x2B1A+uint32(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			lines += n
+		} else {
+			lines += engine.SeqPass(sys, region)
+		}
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(lines)/sec, "lines/s")
+	}
+}
+
+func BenchmarkSimThroughputSeq2LM(b *testing.B)  { benchThroughput(b, core.Mode2LM, false) }
+func BenchmarkSimThroughputSeq1LM(b *testing.B)  { benchThroughput(b, core.Mode1LM, false) }
+func BenchmarkSimThroughputRand2LM(b *testing.B) { benchThroughput(b, core.Mode2LM, true) }
+func BenchmarkSimThroughputRand1LM(b *testing.B) { benchThroughput(b, core.Mode1LM, true) }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	repro [-out results] [-scale 1024] [-quick] [-parallel N] [-channels N]
+//	      [-cpuprofile f] [-memprofile f]
 //
 // -quick shrinks footprints (scale 8192, smaller graphs) for a fast
 // sanity pass; the defaults match the calibrated study reported in
@@ -14,6 +15,11 @@
 // outcomes are merged by job order, not completion order. -channels
 // sets the IMC channel count of the multichannel sharding self-check
 // (default 6, the Cascade Lake socket).
+//
+// -cpuprofile and -memprofile write pprof profiles of the whole run,
+// for chasing regressions in the simulator-throughput baseline that
+// the suite also measures (BENCH_throughput.json in the output
+// directory).
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"twolm/internal/engine"
@@ -33,11 +40,41 @@ func main() {
 	quick := flag.Bool("quick", false, "small footprints for a fast pass")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "experiment worker count (1 = serial)")
 	channels := flag.Int("channels", 6, "IMC channels in the sharding self-check")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if err := run(*out, *scale, *quick, *parallel, *channels); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -110,6 +147,31 @@ func run(dir string, scale uint64, quick bool, parallel, channels int) error {
 		}
 	}
 
+	if err := writeThroughput(dir); err != nil {
+		return fmt.Errorf("throughput baseline: %w", err)
+	}
+
 	fmt.Printf("all artifacts written to %s in %s\n", dir, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// writeThroughput measures simulator throughput (the tracked perf
+// baseline — see DESIGN.md) and writes BENCH_throughput.json.
+func writeThroughput(dir string) error {
+	report, err := engine.MeasureThroughput(engine.DefaultThroughputConfig())
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "BENCH_throughput.json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.WriteThroughputJSON(f); err != nil {
+		return err
+	}
+	for _, r := range report.Results {
+		fmt.Printf("throughput %-22s %12.0f lines/s\n", r.Name, r.LinesPerSec)
+	}
 	return nil
 }

@@ -11,6 +11,7 @@ package cache
 import (
 	"fmt"
 
+	"twolm/internal/fastdiv"
 	"twolm/internal/mem"
 )
 
@@ -25,7 +26,9 @@ type Assoc struct {
 	stamps   []uint64
 	clock    uint64
 	sets     uint64
+	setsDiv  fastdiv.Divisor
 	ways     uint64
+	waysDiv  fastdiv.Divisor
 	capacity uint64
 }
 
@@ -40,11 +43,14 @@ func NewAssoc(capacity uint64, ways int) (*Assoc, error) {
 			capacity, ways, mem.Line)
 	}
 	lines := capacity / mem.Line
+	sets := lines / uint64(ways)
 	return &Assoc{
 		entries:  make([]entry, lines),
 		stamps:   make([]uint64, lines),
-		sets:     lines / uint64(ways),
+		sets:     sets,
+		setsDiv:  fastdiv.New(sets),
 		ways:     uint64(ways),
+		waysDiv:  fastdiv.New(uint64(ways)),
 		capacity: capacity,
 	}, nil
 }
@@ -61,10 +67,21 @@ func (c *Assoc) Ways() int { return int(c.ways) }
 // Lines returns the number of line slots.
 func (c *Assoc) Lines() uint64 { return c.sets * c.ways }
 
-// index splits an address into set and tag.
+// index splits an address into set and tag. The set count is fixed at
+// construction, so the split uses a precomputed reciprocal instead of
+// two divide instructions — Probe and Install run once per simulated
+// demand line reaching the memory controller.
 func (c *Assoc) index(addr uint64) (set uint64, tag uint32) {
-	line := addr >> mem.LineShift
-	return line % c.sets, uint32(line / c.sets)
+	q, r := c.setsDiv.DivMod(addr >> mem.LineShift)
+	return r, uint32(q)
+}
+
+// Index splits an address into set and tag, for callers that walk
+// consecutive lines and advance the pair incrementally (the set of
+// line+1 is set+1 mod Sets, carrying into the tag) before probing with
+// ProbeAt.
+func (c *Assoc) Index(addr uint64) (set uint64, tag uint32) {
+	return c.index(addr)
 }
 
 // Probe performs a tag check for addr. On a hit, the returned handle
@@ -72,8 +89,42 @@ func (c *Assoc) index(addr uint64) (set uint64, tag uint32) {
 // miss, the handle identifies the replacement victim — an invalid way
 // if one exists (MissClean), otherwise the least recently used way
 // (MissClean or MissDirty by its state).
+//
+// Ways==1 — the hardware configuration every headline experiment runs —
+// takes a specialized path: the single way is the hit candidate and the
+// victim at once, and the LRU stamp clock is never consulted for victim
+// choice, so the way loop and the stamp refresh are skipped entirely.
+// Results and victim selection are identical to the generic path (the
+// direct-mapped equivalence test pins this).
 func (c *Assoc) Probe(addr uint64) (handle uint64, res LookupResult) {
 	set, tag := c.index(addr)
+	return c.ProbeAt(set, tag)
+}
+
+// ProbeTag is Probe returning the tag alongside, so a caller on the
+// miss path can hand it straight to InstallTag without re-dividing the
+// address.
+func (c *Assoc) ProbeTag(addr uint64) (handle uint64, tag uint32, res LookupResult) {
+	set, tag := c.index(addr)
+	handle, res = c.ProbeAt(set, tag)
+	return handle, tag, res
+}
+
+// ProbeAt is Probe for a (set, tag) pair previously derived from Index.
+func (c *Assoc) ProbeAt(set uint64, tag uint32) (handle uint64, res LookupResult) {
+	if c.ways == 1 {
+		e := &c.entries[set]
+		switch {
+		case e.flags&flagValid == 0:
+			return set, MissClean
+		case e.tag == tag:
+			return set, Hit
+		case e.flags&flagDirty != 0:
+			return set, MissDirty
+		default:
+			return set, MissClean
+		}
+	}
 	base := set * c.ways
 	victim := base
 	victimStamp := ^uint64(0)
@@ -108,9 +159,20 @@ func (c *Assoc) Probe(addr uint64) (handle uint64, res LookupResult) {
 }
 
 // Install places addr's line at handle in the clean, unowned state.
+// With Ways==1 the LRU stamp clock is never read, so it is not
+// maintained.
 func (c *Assoc) Install(handle, addr uint64) {
 	_, tag := c.index(addr)
+	c.InstallTag(handle, tag)
+}
+
+// InstallTag is Install with the tag already split off the address
+// (typically returned by ProbeTag, saving the re-division).
+func (c *Assoc) InstallTag(handle uint64, tag uint32) {
 	c.entries[handle] = entry{tag: tag, flags: flagValid}
+	if c.ways == 1 {
+		return
+	}
 	c.clock++
 	c.stamps[handle] = c.clock
 }
@@ -121,7 +183,7 @@ func (c *Assoc) VictimAddr(handle uint64) (addr uint64, ok bool) {
 	if e.flags&flagValid == 0 {
 		return 0, false
 	}
-	set := handle / c.ways
+	set := c.waysDiv.Div(handle)
 	return (uint64(e.tag)*c.sets + set) << mem.LineShift, true
 }
 

@@ -13,6 +13,7 @@ package cache
 import (
 	"fmt"
 
+	"twolm/internal/fastdiv"
 	"twolm/internal/mem"
 )
 
@@ -64,6 +65,7 @@ func (r LookupResult) String() string {
 type DirectMapped struct {
 	entries  []entry
 	sets     uint64
+	setsDiv  fastdiv.Divisor
 	capacity uint64
 }
 
@@ -77,6 +79,7 @@ func New(capacity uint64) (*DirectMapped, error) {
 	return &DirectMapped{
 		entries:  make([]entry, sets),
 		sets:     sets,
+		setsDiv:  fastdiv.New(sets),
 		capacity: capacity,
 	}, nil
 }
@@ -87,26 +90,37 @@ func (c *DirectMapped) Capacity() uint64 { return c.capacity }
 // Sets returns the number of sets (lines) in the cache.
 func (c *DirectMapped) Sets() uint64 { return c.sets }
 
-// Index splits an address into its set index and tag.
+// Index splits an address into its set index and tag. The set count is
+// fixed at construction, so the split uses a precomputed reciprocal
+// instead of two divide instructions — this runs for every simulated
+// demand line (the LLC filter sits in front of the whole pipeline).
 func (c *DirectMapped) Index(addr uint64) (set uint64, tag uint32) {
-	line := addr >> mem.LineShift
-	return line % c.sets, uint32(line / c.sets)
+	q, r := c.setsDiv.DivMod(addr >> mem.LineShift)
+	return r, uint32(q)
 }
 
 // Lookup performs a tag check for addr and returns the set index, the
 // requested tag, and the result. It does not modify state.
 func (c *DirectMapped) Lookup(addr uint64) (set uint64, tag uint32, res LookupResult) {
 	set, tag = c.Index(addr)
+	return set, tag, c.LookupAt(set, tag)
+}
+
+// LookupAt performs the tag check for a (set, tag) pair previously
+// derived from Index. Walkers over consecutive lines derive the pairs
+// incrementally — the set of line+1 is set+1 mod Sets, carrying into
+// the tag — instead of re-dividing per line.
+func (c *DirectMapped) LookupAt(set uint64, tag uint32) LookupResult {
 	e := c.entries[set]
 	switch {
 	case e.flags&flagValid == 0:
-		return set, tag, MissClean
+		return MissClean
 	case e.tag == tag:
-		return set, tag, Hit
+		return Hit
 	case e.flags&flagDirty != 0:
-		return set, tag, MissDirty
+		return MissDirty
 	default:
-		return set, tag, MissClean
+		return MissClean
 	}
 }
 

@@ -198,6 +198,12 @@ func (s *System) AddressSpace() *platform.AddressSpace { return s.space }
 // Controller returns the 2LM memory controller, or nil in 1LM mode.
 func (s *System) Controller() *imc.Controller { return s.ctrl }
 
+// DRAM returns the DRAM module, for per-channel counter inspection.
+func (s *System) DRAM() *dram.Module { return s.dramMod }
+
+// NVRAM returns the NVRAM module, for media counter inspection.
+func (s *System) NVRAM() *nvram.Module { return s.nvramMod }
+
 // Model returns the bandwidth model in use.
 func (s *System) Model() *bwmodel.Model { return s.model }
 
@@ -371,32 +377,173 @@ func (s *System) StoreNT(addr uint64) {
 	s.llcWrite(addr)
 }
 
+// The Range forms below are the batched fast path of the demand
+// pipeline: for a sequential range with no tap installed they hoist the
+// tap check out of the loop, accumulate the demand-byte counter once
+// per batch instead of once per line, and (for nontemporal stores)
+// hand the whole run to the controller's range entry point. Whenever a
+// tap is installed they fall back to the per-line calls so the tap
+// observes every operation; counter results are byte-identical either
+// way (the differential tests in fastpath_test.go pin this).
+
+// rangeTouch is llcTouch unrolled over every line of r. Consecutive
+// lines map to consecutive on-chip sets, so the set/tag pair advances
+// incrementally — one division at the range start instead of one per
+// line. The per-line outcomes are identical to calling llcTouch on
+// each line in ascending order.
+func (s *System) rangeTouch(r mem.Region, dirty bool) {
+	sets := s.llc.Sets()
+	set, tag := s.llc.Index(r.Base)
+	end := r.End()
+	for a := r.Base; a < end; a += mem.Line {
+		res := s.llc.LookupAt(set, tag)
+		if res == cache.Hit {
+			if dirty {
+				s.llc.MarkDirty(set)
+			}
+		} else {
+			if res == cache.MissDirty {
+				if victim, ok := s.llc.VictimAddr(set); ok {
+					s.llcWrite(victim)
+				}
+			}
+			s.llcRead(a)
+			s.llc.Insert(set, tag)
+			if dirty {
+				s.llc.MarkDirty(set)
+			}
+		}
+		set++
+		if set == sets {
+			set, tag = 0, tag+1
+		}
+	}
+}
+
 // LoadRange streams demand loads over every line of r.
 func (s *System) LoadRange(r mem.Region) {
-	for a := r.Base; a < r.End(); a += mem.Line {
-		s.Load(a)
+	if s.tap != nil {
+		for a := r.Base; a < r.End(); a += mem.Line {
+			s.Load(a)
+		}
+		return
 	}
+	s.rangeTouch(r, false)
+	s.demandBytes += mem.Line * r.Lines()
 }
 
 // StoreRange streams standard stores over every line of r.
 func (s *System) StoreRange(r mem.Region) {
-	for a := r.Base; a < r.End(); a += mem.Line {
-		s.Store(a)
+	if s.tap != nil {
+		for a := r.Base; a < r.End(); a += mem.Line {
+			s.Store(a)
+		}
+		return
 	}
+	s.rangeTouch(r, true)
+	s.demandBytes += mem.Line * r.Lines()
 }
 
 // RMWRange streams read-modify-writes over every line of r.
 func (s *System) RMWRange(r mem.Region) {
-	for a := r.Base; a < r.End(); a += mem.Line {
-		s.RMW(a)
+	if s.tap != nil {
+		for a := r.Base; a < r.End(); a += mem.Line {
+			s.RMW(a)
+		}
+		return
 	}
+	s.rangeTouch(r, true)
+	s.demandBytes += 2 * mem.Line * r.Lines()
 }
 
-// StoreNTRange streams nontemporal stores over every line of r.
+// StoreNTRange streams nontemporal stores over every line of r. NT
+// stores bypass the on-chip cache, so with no tap installed the whole
+// run reaches the memory system as one consecutive batch: the LLC
+// invalidation sweep happens first (it generates no traffic), then the
+// controller services the range through its batched entry point.
 func (s *System) StoreNTRange(r mem.Region) {
-	for a := r.Base; a < r.End(); a += mem.Line {
-		s.StoreNT(a)
+	if s.tap != nil {
+		for a := r.Base; a < r.End(); a += mem.Line {
+			s.StoreNT(a)
+		}
+		return
 	}
+	sets := s.llc.Sets()
+	set, tag := s.llc.Index(r.Base)
+	end := r.End()
+	for a := r.Base; a < end; a += mem.Line {
+		if s.llc.LookupAt(set, tag) == cache.Hit {
+			s.llc.Invalidate(set)
+		}
+		set++
+		if set == sets {
+			set, tag = 0, tag+1
+		}
+	}
+	lines := r.Lines()
+	if s.mode == Mode2LM {
+		s.ctrl.LLCWriteRange(r.Base, lines)
+	} else {
+		s.flatWriteRange(r.Base, lines)
+	}
+	s.demandBytes += mem.Line * lines
+}
+
+// flatWriteRange routes n consecutive line writes through the 1LM
+// path, splitting the run at the DRAM/NVRAM pool boundary and batching
+// the flat counters and DRAM channel counts per segment. NVRAM lines
+// stay per line for the media combining state.
+func (s *System) flatWriteRange(addr uint64, n uint64) {
+	s.flat.LLCWrite += n
+	s.eachPoolRun(addr, n, func(pool platform.Pool, base, cnt uint64) {
+		if pool == platform.PoolDRAM {
+			s.flat.DRAMWrite += cnt
+			s.dramMod.WriteRange(base, cnt)
+			return
+		}
+		s.flat.NVRAMWrite += cnt
+		end := base + cnt*mem.Line
+		for a := base; a < end; a += mem.Line {
+			s.nvramMod.Write(a)
+		}
+	})
+}
+
+// flatReadRange routes n consecutive line reads through the 1LM path,
+// batched the same way as flatWriteRange.
+func (s *System) flatReadRange(addr uint64, n uint64) {
+	s.flat.LLCRead += n
+	s.eachPoolRun(addr, n, func(pool platform.Pool, base, cnt uint64) {
+		if pool == platform.PoolDRAM {
+			s.flat.DRAMRead += cnt
+			s.dramMod.ReadRange(base, cnt)
+			return
+		}
+		s.flat.NVRAMRead += cnt
+		end := base + cnt*mem.Line
+		for a := base; a < end; a += mem.Line {
+			s.nvramMod.Read(a)
+		}
+	})
+}
+
+// eachPoolRun splits the n lines starting at addr into at most two
+// runs of uniform pool membership (the 1LM address space is a DRAM
+// region followed by an NVRAM region) and calls fn for each.
+func (s *System) eachPoolRun(addr uint64, n uint64, fn func(pool platform.Pool, base, cnt uint64)) {
+	end := addr + n*mem.Line
+	boundary := s.space.DRAMBoundary()
+	if addr >= boundary {
+		fn(platform.PoolNVRAM, addr, n)
+		return
+	}
+	if end <= boundary {
+		fn(platform.PoolDRAM, addr, n)
+		return
+	}
+	dramLines := (boundary - addr + mem.Line - 1) / mem.Line
+	fn(platform.PoolDRAM, addr, dramLines)
+	fn(platform.PoolNVRAM, addr+dramLines*mem.Line, n-dramLines)
 }
 
 // SetDMABandwidth configures the copy-engine ceiling in bytes/s for
@@ -423,41 +570,42 @@ func (s *System) SetDMABandwidth(bw float64) {
 // the CPU, defeating the point; DMACopy therefore drives the devices
 // through the 1LM path and is intended for app-direct systems.
 func (s *System) DMACopy(src, dst mem.Region) {
-	route := func(addr uint64, write bool) {
-		if s.mode == Mode2LM {
-			// Behind the cache: fall back to controller traffic.
-			if write {
-				s.ctrl.LLCWrite(addr)
-			} else {
-				s.ctrl.LLCRead(addr)
+	srcLines := (src.Size + mem.Line - 1) / mem.Line
+	if s.mode == Mode2LM {
+		// Behind the cache: the engine's streams reach the controller
+		// as consecutive LLC-level reads and writes, serviced batched.
+		s.ctrl.LLCReadRange(src.Base, srcLines)
+		s.ctrl.LLCWriteRange(dst.Base, srcLines)
+	} else {
+		route := func(write bool) func(pool platform.Pool, base, cnt uint64) {
+			return func(pool platform.Pool, base, cnt uint64) {
+				if pool == platform.PoolDRAM {
+					if write {
+						s.flat.DRAMWrite += cnt
+						s.dramMod.WriteRange(base, cnt)
+					} else {
+						s.flat.DRAMRead += cnt
+						s.dramMod.ReadRange(base, cnt)
+					}
+					return
+				}
+				end := base + cnt*mem.Line
+				if write {
+					s.flat.NVRAMWrite += cnt
+					for a := base; a < end; a += mem.Line {
+						s.nvramMod.Write(a)
+					}
+				} else {
+					s.flat.NVRAMRead += cnt
+					for a := base; a < end; a += mem.Line {
+						s.nvramMod.Read(a)
+					}
+				}
+				s.dmaNV += cnt
 			}
-			return
 		}
-		if s.space.PoolOf(addr) == platform.PoolDRAM {
-			if write {
-				s.flat.DRAMWrite++
-				s.dramMod.Write(addr)
-			} else {
-				s.flat.DRAMRead++
-				s.dramMod.Read(addr)
-			}
-		} else {
-			if write {
-				s.flat.NVRAMWrite++
-				s.nvramMod.Write(addr)
-			} else {
-				s.flat.NVRAMRead++
-				s.nvramMod.Read(addr)
-			}
-			s.dmaNV++
-		}
-	}
-	for a := src.Base; a < src.End(); a += mem.Line {
-		route(a, false)
-	}
-	end := dst.Base + src.Size
-	for a := dst.Base; a < end; a += mem.Line {
-		route(a, true)
+		s.eachPoolRun(src.Base, srcLines, route(false))
+		s.eachPoolRun(dst.Base, srcLines, route(true))
 	}
 	s.dmaBytes += 2 * src.Size
 }

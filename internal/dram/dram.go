@@ -14,6 +14,7 @@ package dram
 import (
 	"fmt"
 
+	"twolm/internal/fastdiv"
 	"twolm/internal/mem"
 )
 
@@ -27,6 +28,7 @@ type Channel struct {
 // Module is one socket's worth of DRAM: n interleaved channels.
 type Module struct {
 	channels []Channel
+	chDiv    fastdiv.Divisor
 	capacity uint64
 }
 
@@ -39,7 +41,11 @@ func New(channels int, capacity uint64) (*Module, error) {
 	if capacity == 0 || capacity%mem.Line != 0 {
 		return nil, fmt.Errorf("dram: capacity %d must be a positive multiple of %d", capacity, mem.Line)
 	}
-	return &Module{channels: make([]Channel, channels), capacity: capacity}, nil
+	return &Module{
+		channels: make([]Channel, channels),
+		chDiv:    fastdiv.New(uint64(channels)),
+		capacity: capacity,
+	}, nil
 }
 
 // Channels returns the number of channels.
@@ -48,9 +54,11 @@ func (m *Module) Channels() int { return len(m.channels) }
 // Capacity returns the module capacity in bytes.
 func (m *Module) Capacity() uint64 { return m.capacity }
 
-// channel maps a line address onto its interleaved channel.
+// channel maps a line address onto its interleaved channel. Cascade
+// Lake has six channels — not a power of two — so the interleave mod
+// uses a precomputed reciprocal instead of a divide instruction.
 func (m *Module) channel(addr uint64) *Channel {
-	return &m.channels[(addr>>mem.LineShift)%uint64(len(m.channels))]
+	return &m.channels[m.chDiv.Mod(addr>>mem.LineShift)]
 }
 
 // Read records one 64 B CAS read at addr.
@@ -58,6 +66,61 @@ func (m *Module) Read(addr uint64) { m.channel(addr).CASReads++ }
 
 // Write records one 64 B CAS write at addr.
 func (m *Module) Write(addr uint64) { m.channel(addr).CASWrites++ }
+
+// LineChannel resolves the channel owning addr's line. The IMC issues
+// up to three CAS transactions to the same line per request (tag-check
+// read, fill write, data write); resolving the interleave mod once and
+// bumping the returned channel's counters directly is equivalent to
+// calling Read/Write per transaction, because the module totals are
+// derived from the channel counters.
+func (m *Module) LineChannel(addr uint64) *Channel { return m.channel(addr) }
+
+// ChannelIndex returns the interleave index of addr's line, for callers
+// walking consecutive lines that advance the index incrementally (the
+// index of line+1 is index+1 mod Channels).
+func (m *Module) ChannelIndex(addr uint64) int {
+	return int(m.chDiv.Mod(addr >> mem.LineShift))
+}
+
+// ChannelAt returns channel i for counter bumps paired with
+// ChannelIndex.
+func (m *Module) ChannelAt(i int) *Channel { return &m.channels[i] }
+
+// rangeCounts distributes n consecutive lines starting at addr over the
+// interleaved channels arithmetically: the lines congruent to channel
+// (first+k) mod channels number n/channels, plus one for the first
+// n%channels offsets. Byte-identical to calling channel() n times.
+func (m *Module) rangeCounts(addr, n uint64, bump func(c *Channel, cnt uint64)) {
+	ch := uint64(len(m.channels))
+	first := m.chDiv.Mod(addr >> mem.LineShift)
+	base, rem := n/ch, n%ch
+	for k := uint64(0); k < ch; k++ {
+		cnt := base
+		if k < rem {
+			cnt++
+		}
+		if cnt == 0 {
+			continue
+		}
+		c := first + k
+		if c >= ch {
+			c -= ch
+		}
+		bump(&m.channels[c], cnt)
+	}
+}
+
+// ReadRange records n consecutive 64 B CAS reads starting at the line
+// containing addr, without walking the lines one by one.
+func (m *Module) ReadRange(addr, n uint64) {
+	m.rangeCounts(addr, n, func(c *Channel, cnt uint64) { c.CASReads += cnt })
+}
+
+// WriteRange records n consecutive 64 B CAS writes starting at the
+// line containing addr, without walking the lines one by one.
+func (m *Module) WriteRange(addr, n uint64) {
+	m.rangeCounts(addr, n, func(c *Channel, cnt uint64) { c.CASWrites += cnt })
+}
 
 // TotalReads returns the CAS read count summed over channels (lines).
 func (m *Module) TotalReads() uint64 {

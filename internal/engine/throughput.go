@@ -1,0 +1,169 @@
+// Simulator-throughput measurement: how many demand lines per second
+// the simulator itself sustains. Counting is the whole cost model of
+// this reproduction — every table and figure is a line-by-line walk
+// through core.System — so simulated-lines-per-second is the hardware
+// speed axis of the ROADMAP's north star and the budget that bounds how
+// large a footprint scale the experiments can afford. The measurement
+// here backs the BenchmarkSimThroughput* benchmarks and the
+// BENCH_throughput.json artifact cmd/repro emits, which together form
+// the tracked perf trajectory baseline future PRs are measured against.
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"twolm/internal/core"
+	"twolm/internal/lfsr"
+	"twolm/internal/mem"
+	"twolm/internal/platform"
+)
+
+// ThroughputConfig parameterizes the throughput measurement.
+type ThroughputConfig struct {
+	// Scale is the footprint divisor of the measured system.
+	Scale uint64
+	// Passes is how many full passes over the region each measurement
+	// times (after one untimed warm-up pass that primes the caches).
+	Passes int
+	// Seed seeds the LFSR for the random streams.
+	Seed uint32
+}
+
+// DefaultThroughputConfig returns the standard measurement: 1/8192
+// scale (a 24 MiB DRAM cache, 48 MiB footprint) and three timed passes.
+func DefaultThroughputConfig() ThroughputConfig {
+	return ThroughputConfig{Scale: 8192, Passes: 3, Seed: 0x2B1A}
+}
+
+// ThroughputResult is one measured stream configuration.
+type ThroughputResult struct {
+	Name        string  `json:"name"`
+	Mode        string  `json:"mode"`
+	Pattern     string  `json:"pattern"`
+	Lines       uint64  `json:"lines"`
+	Seconds     float64 `json:"seconds"`
+	LinesPerSec float64 `json:"lines_per_sec"`
+}
+
+// ThroughputReport is the serialized BENCH_throughput.json payload.
+type ThroughputReport struct {
+	Benchmark string             `json:"benchmark"`
+	Scale     uint64             `json:"scale"`
+	Passes    int                `json:"passes"`
+	Results   []ThroughputResult `json:"results"`
+}
+
+// NewThroughputSystem builds a single-socket system in the given mode
+// together with a measurement region twice the DRAM capacity — the
+// miss-heavy regime of the paper's Figure 4, where the demand pipeline
+// does the most work per line. In 1LM the region is NVRAM-backed so
+// both device models stay on the path.
+func NewThroughputSystem(mode core.Mode, scale uint64) (*core.System, mem.Region, error) {
+	sys, err := core.New(core.Config{
+		Platform: platform.CascadeLake(1, scale, 24),
+		Mode:     mode,
+	})
+	if err != nil {
+		return nil, mem.Region{}, err
+	}
+	size := 2 * sys.Platform().DRAMSize()
+	var region mem.Region
+	if mode == core.Mode1LM {
+		region, err = sys.AddressSpace().AllocNVRAM(size)
+	} else {
+		region, err = sys.AddressSpace().Alloc(size)
+	}
+	if err != nil {
+		return nil, mem.Region{}, err
+	}
+	return sys, region, nil
+}
+
+// SeqPass streams one sequential load pass plus one sequential store
+// pass over region, exercising the read- and write-miss pipelines.
+// Returns the number of demand lines simulated.
+func SeqPass(sys *core.System, region mem.Region) uint64 {
+	sys.LoadRange(region)
+	sys.StoreRange(region)
+	return 2 * region.Lines()
+}
+
+// RandPass drives one LFSR-random pass over region, touching every
+// line exactly once with alternating loads and stores in pseudo-random
+// order (the paper's KernelBenchmarks.jl iteration style). Returns the
+// number of demand lines simulated.
+func RandPass(sys *core.System, region mem.Region, seed uint32) (uint64, error) {
+	n := region.Lines()
+	err := lfsr.Sequence(n, seed, func(idx uint64) {
+		addr := region.Base + idx*mem.Line
+		if idx&1 == 0 {
+			sys.Load(addr)
+		} else {
+			sys.Store(addr)
+		}
+	})
+	return n, err
+}
+
+// MeasureThroughput measures simulator throughput for sequential and
+// LFSR-random streams in both operating modes.
+func MeasureThroughput(cfg ThroughputConfig) (*ThroughputReport, error) {
+	if cfg.Scale == 0 {
+		cfg = DefaultThroughputConfig()
+	}
+	if cfg.Passes < 1 {
+		cfg.Passes = 1
+	}
+	report := &ThroughputReport{Benchmark: "SimThroughput", Scale: cfg.Scale, Passes: cfg.Passes}
+	for _, mode := range []core.Mode{core.Mode2LM, core.Mode1LM} {
+		for _, random := range []bool{false, true} {
+			sys, region, err := NewThroughputSystem(mode, cfg.Scale)
+			if err != nil {
+				return nil, err
+			}
+			// Untimed warm-up pass primes the DRAM cache, mirroring the
+			// paper's measurement procedure.
+			SeqPass(sys, region)
+			var lines uint64
+			start := time.Now()
+			for p := 0; p < cfg.Passes; p++ {
+				if random {
+					n, err := RandPass(sys, region, cfg.Seed+uint32(p))
+					if err != nil {
+						return nil, err
+					}
+					lines += n
+				} else {
+					lines += SeqPass(sys, region)
+				}
+			}
+			sec := time.Since(start).Seconds()
+			pattern := "sequential"
+			if random {
+				pattern = "lfsr-random"
+			}
+			r := ThroughputResult{
+				Name:    fmt.Sprintf("%s-%s", pattern, mode),
+				Mode:    mode.String(),
+				Pattern: pattern,
+				Lines:   lines,
+				Seconds: sec,
+			}
+			if sec > 0 {
+				r.LinesPerSec = float64(lines) / sec
+			}
+			report.Results = append(report.Results, r)
+		}
+	}
+	return report, nil
+}
+
+// WriteThroughputJSON serializes the report as indented JSON.
+func (r *ThroughputReport) WriteThroughputJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,136 @@
+// Package fastdiv implements division by a runtime-fixed 64-bit
+// divisor without a divide instruction, using a precomputed reciprocal
+// "magic" multiplier (Hacker's Delight chapter 10; the same
+// strength reduction compilers apply to division by constants, done at
+// run time for divisors fixed at construction).
+//
+// The demand pipeline of this simulator splits an address into
+// (set, tag) or (channel, offset) on every single simulated line, and
+// the set and channel counts — cache sets, DRAM channels, NVRAM DIMMs —
+// are fixed when the system is built but unknown at compile time, so
+// the compiler cannot strength-reduce them itself. A 64-bit integer
+// divide costs tens of cycles on current cores; the multiply-shift
+// sequence here costs a handful, which is the difference between the
+// tag check and the divide dominating the per-line cost.
+//
+// Divisors that are powers of two reduce to shift/mask. All quotients
+// and remainders are exact for every uint64 numerator; the package
+// test proves this property against the hardware divider.
+package fastdiv
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Divisor divides uint64 numerators by a fixed divisor using a
+// precomputed magic multiplier. The zero value is not usable;
+// construct with New.
+type Divisor struct {
+	d     uint64 // the divisor
+	m     uint64 // magic multiplier (low 64 bits when add is set)
+	shift uint   // post-multiply shift
+	add   bool   // magic is 2^64 + m: use the add-and-halve fixup
+	pow2  bool   // divisor is a power of two: shift/mask directly
+}
+
+// New returns a Divisor for d. d must be nonzero; a zero divisor is a
+// construction-time programming error, not a data error, so it panics.
+func New(d uint64) Divisor {
+	if d == 0 {
+		panic("fastdiv: zero divisor")
+	}
+	if d&(d-1) == 0 {
+		return Divisor{d: d, shift: uint(bits.TrailingZeros64(d)), pow2: true}
+	}
+	m, s, add := magicu(d)
+	return Divisor{d: d, m: m, shift: s, add: add}
+}
+
+// Value returns the divisor.
+func (v Divisor) Value() uint64 { return v.d }
+
+// Div returns n / v.
+func (v Divisor) Div(n uint64) uint64 {
+	switch {
+	case v.pow2:
+		return n >> v.shift
+	case v.add:
+		// Magic is 2^64 + m: q = (n + mulhi(m, n)) >> shift, computed
+		// without overflowing via the add-and-halve identity.
+		t, _ := bits.Mul64(v.m, n)
+		return (((n - t) >> 1) + t) >> (v.shift - 1)
+	default:
+		t, _ := bits.Mul64(v.m, n)
+		return t >> v.shift
+	}
+}
+
+// Mod returns n % v.
+func (v Divisor) Mod(n uint64) uint64 {
+	if v.pow2 {
+		return n & (v.d - 1)
+	}
+	return n - v.Div(n)*v.d
+}
+
+// DivMod returns n / v and n % v with one reciprocal multiply.
+func (v Divisor) DivMod(n uint64) (q, r uint64) {
+	if v.pow2 {
+		return n >> v.shift, n & (v.d - 1)
+	}
+	q = v.Div(n)
+	return q, n - q*v.d
+}
+
+// String implements fmt.Stringer for debugging.
+func (v Divisor) String() string {
+	if v.pow2 {
+		return fmt.Sprintf("fastdiv(%d: >>%d)", v.d, v.shift)
+	}
+	return fmt.Sprintf("fastdiv(%d: m=%#x s=%d add=%v)", v.d, v.m, v.shift, v.add)
+}
+
+// magicu computes the magic multiplier, shift, and add indicator for
+// unsigned division by d (Hacker's Delight figure 10-2, generalized to
+// 64 bits). When add is false, n/d = mulhi(m, n) >> shift for all n;
+// when true the true magic is 2^64 + m and Div applies the
+// add-and-halve fixup.
+func magicu(d uint64) (m uint64, shift uint, add bool) {
+	const two63 = uint64(1) << 63
+	p := uint(63)
+	nc := ^uint64(0) - (^uint64(0)-d+1)%d // largest n with n % d == d-1
+	q1 := two63 / nc
+	r1 := two63 - q1*nc
+	q2 := (two63 - 1) / d
+	r2 := (two63 - 1) - q2*d
+	var delta uint64
+	for {
+		p++
+		if r1 >= nc-r1 {
+			q1 = 2*q1 + 1
+			r1 = 2*r1 - nc
+		} else {
+			q1 = 2 * q1
+			r1 = 2 * r1
+		}
+		if r2+1 >= d-r2 {
+			if q2 >= two63-1 {
+				add = true
+			}
+			q2 = 2*q2 + 1
+			r2 = 2*r2 + 1 - d
+		} else {
+			if q2 >= two63 {
+				add = true
+			}
+			q2 = 2 * q2
+			r2 = 2*r2 + 1
+		}
+		delta = d - 1 - r2
+		if p >= 128 || (q1 >= delta && !(q1 == delta && r1 == 0)) {
+			break
+		}
+	}
+	return q2 + 1, p - 64, add
+}

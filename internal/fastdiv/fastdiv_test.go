@@ -1,0 +1,110 @@
+package fastdiv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// interestingNumerators are boundary values every divisor must handle.
+func interestingNumerators(d uint64) []uint64 {
+	ns := []uint64{0, 1, 2, 3, 62, 63, 64, 65, 1000, math.MaxUint32,
+		math.MaxUint32 + 1, math.MaxUint64, math.MaxUint64 - 1, 1 << 62, (1 << 62) + 1}
+	// Multiples of d and their neighbors exercise quotient boundaries.
+	for _, k := range []uint64{1, 2, 3, 1000, 1 << 20} {
+		m := d * k
+		ns = append(ns, m-1, m, m+1)
+	}
+	if d > 1 {
+		q := math.MaxUint64 / d
+		ns = append(ns, q*d-1, q*d, q*d+1)
+	}
+	return ns
+}
+
+// checkDivisor asserts Div/Mod/DivMod agree with the hardware divider
+// for the given numerator.
+func checkDivisor(t *testing.T, v Divisor, n uint64) {
+	t.Helper()
+	d := v.Value()
+	if got, want := v.Div(n), n/d; got != want {
+		t.Fatalf("Div(%d) by %d (%v) = %d, want %d", n, d, v, got, want)
+	}
+	if got, want := v.Mod(n), n%d; got != want {
+		t.Fatalf("Mod(%d) by %d (%v) = %d, want %d", n, d, v, got, want)
+	}
+	q, r := v.DivMod(n)
+	if q != n/d || r != n%d {
+		t.Fatalf("DivMod(%d) by %d (%v) = %d,%d, want %d,%d", n, d, v, q, r, n/d, n%d)
+	}
+}
+
+// TestExhaustiveSmallDivisors checks every divisor the simulator
+// realistically configures (set counts, channel counts, DIMM counts,
+// way counts) against boundary and random numerators.
+func TestExhaustiveSmallDivisors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for d := uint64(1); d <= 4096; d++ {
+		v := New(d)
+		for _, n := range interestingNumerators(d) {
+			checkDivisor(t, v, n)
+		}
+		for i := 0; i < 64; i++ {
+			checkDivisor(t, v, rng.Uint64())
+		}
+	}
+}
+
+// TestRandomLargeDivisors checks arbitrary divisors across the whole
+// 64-bit range, including the >= 2^63 regime where the quotient is
+// 0 or 1.
+func TestRandomLargeDivisors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		d := rng.Uint64()
+		if d == 0 {
+			d = 1
+		}
+		v := New(d)
+		for _, n := range []uint64{0, 1, d - 1, d, d + 1, math.MaxUint64, rng.Uint64(), rng.Uint64()} {
+			checkDivisor(t, v, n)
+		}
+	}
+}
+
+// TestPowersOfTwo checks the shift/mask fast path at every width.
+func TestPowersOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for s := uint(0); s < 64; s++ {
+		v := New(1 << s)
+		for _, n := range interestingNumerators(1 << s) {
+			checkDivisor(t, v, n)
+		}
+		for i := 0; i < 64; i++ {
+			checkDivisor(t, v, rng.Uint64())
+		}
+	}
+}
+
+// TestSimulatorDivisors pins the exact divisors the demand pipeline
+// precomputes: the Cascade Lake channel count, scaled LLC set counts
+// (33 MiB is not a power of two), and scaled DRAM cache set counts.
+func TestSimulatorDivisors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, d := range []uint64{6, 12, 528, 33 * 1024, 393216, 786432, 3 * (1 << 20)} {
+		v := New(d)
+		for i := 0; i < 100000; i++ {
+			checkDivisor(t, v, rng.Uint64())
+		}
+	}
+}
+
+// TestZeroDivisorPanics pins the construction contract.
+func TestZeroDivisorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

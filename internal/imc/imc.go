@@ -37,6 +37,7 @@ import (
 
 	"twolm/internal/cache"
 	"twolm/internal/dram"
+	"twolm/internal/mem"
 	"twolm/internal/nvram"
 )
 
@@ -178,6 +179,52 @@ type Controller struct {
 
 	policy   Policy
 	counters Counters
+
+	// Geometry, copied out of the tag store and DRAM module so the hot
+	// request paths touch one cache line of controller state.
+	sets uint64
+	nch  int
+
+	// Per-stream locator memos. LLC demand reads and LLC writebacks
+	// each tend to sweep consecutive lines (the writeback stream is the
+	// eviction shadow of the demand stream, trailing it by the on-chip
+	// cache size), so each stream remembers its previous line's
+	// set/tag/channel and advances them by one instead of re-dividing.
+	// The memo is a pure function of the address — nothing in cache or
+	// counter state can invalidate it.
+	readLoc  streamLocator
+	writeLoc streamLocator
+}
+
+// streamLocator memoizes the (set, tag, channel) decomposition of the
+// previous line of one request stream.
+type streamLocator struct {
+	line  uint64
+	set   uint64
+	tag   uint32
+	chIdx int
+	valid bool
+}
+
+// locate decomposes addr into its tag-store set/tag and DRAM channel
+// index, taking the incremental path when addr is the line right after
+// the stream's previous one.
+func (c *Controller) locate(m *streamLocator, addr uint64) (set uint64, tag uint32, chIdx int) {
+	line := addr >> mem.LineShift
+	if m.valid && line == m.line+1 {
+		set, tag, chIdx = m.set+1, m.tag, m.chIdx+1
+		if set == c.sets {
+			set, tag = 0, tag+1
+		}
+		if chIdx == c.nch {
+			chIdx = 0
+		}
+	} else {
+		set, tag = c.Cache.Index(addr)
+		chIdx = c.DRAM.ChannelIndex(addr)
+	}
+	m.line, m.set, m.tag, m.chIdx, m.valid = line, set, tag, chIdx, true
+	return set, tag, chIdx
 }
 
 // New assembles a controller with the hardware policy. The DRAM
@@ -206,6 +253,8 @@ func NewWithPolicy(dramMod *dram.Module, nvramMod *nvram.Module, policy Policy) 
 		NVRAM:      nvramMod,
 		DisableDDO: policy.DisableDDO,
 		policy:     policy,
+		sets:       dc.Sets(),
+		nch:        dramMod.Channels(),
 	}, nil
 }
 
@@ -228,32 +277,34 @@ func (c *Controller) ResetCounters() {
 	c.NVRAM.Reset()
 }
 
-// countMiss records the miss classification and writes back a dirty
-// victim at h.
-func (c *Controller) countMiss(h uint64, res cache.LookupResult) {
+// countMiss records the miss classification into ctr and writes back a
+// dirty victim at h.
+func (c *Controller) countMiss(ctr *Counters, h uint64, res cache.LookupResult) {
 	if res == cache.MissDirty {
-		c.counters.TagMissDirty++
+		ctr.TagMissDirty++
 		if victim, ok := c.Cache.VictimAddr(h); ok {
-			c.counters.NVRAMWrite++
+			ctr.NVRAMWrite++
 			c.NVRAM.Write(victim)
 		}
 	} else {
-		c.counters.TagMissClean++
+		ctr.TagMissClean++
 	}
 }
 
 // missHandler implements the shared miss path of Figure 3: write back
 // the victim if dirty, fetch the requested line from NVRAM, and insert
-// it into the DRAM cache.
-func (c *Controller) missHandler(addr, h uint64, res cache.LookupResult) {
-	c.countMiss(h, res)
+// it into the DRAM cache. ctr is the counter set to record into (the
+// live counters, or a batch-local delta) and ch is addr's DRAM channel,
+// resolved once by the caller.
+func (c *Controller) missHandler(ctr *Counters, ch *dram.Channel, addr, h uint64, tag uint32, res cache.LookupResult) {
+	c.countMiss(ctr, h, res)
 	// Fetch the requested line from NVRAM...
-	c.counters.NVRAMRead++
+	ctr.NVRAMRead++
 	c.NVRAM.Read(addr)
 	// ...and insert it into the cache (always insert on miss).
-	c.counters.DRAMWrite++
-	c.DRAM.Write(addr)
-	c.Cache.Install(h, addr)
+	ctr.DRAMWrite++
+	ch.CASWrites++
+	c.Cache.InstallTag(h, tag)
 }
 
 // LLCRead services a demand request from the LLC: a load miss or an RFO
@@ -261,11 +312,13 @@ func (c *Controller) missHandler(addr, h uint64, res cache.LookupResult) {
 // miss the miss handler fills from NVRAM.
 func (c *Controller) LLCRead(addr uint64) cache.LookupResult {
 	c.counters.LLCRead++
-	h, res := c.Cache.Probe(addr)
+	set, tag, chIdx := c.locate(&c.readLoc, addr)
+	h, res := c.Cache.ProbeAt(set, tag)
+	ch := c.DRAM.ChannelAt(chIdx)
 
 	// DRAM read: fetch tag and data together.
 	c.counters.DRAMRead++
-	c.DRAM.Read(addr)
+	ch.CASReads++
 
 	switch {
 	case res == cache.Hit:
@@ -278,7 +331,7 @@ func (c *Controller) LLCRead(addr uint64) cache.LookupResult {
 		c.NVRAM.Read(addr)
 		return res
 	default:
-		c.missHandler(addr, h, res)
+		c.missHandler(&c.counters, ch, addr, h, tag, res)
 	}
 	// The hierarchy now holds this line; its eventual writeback can use
 	// the Dirty Data Optimization.
@@ -291,7 +344,9 @@ func (c *Controller) LLCRead(addr uint64) cache.LookupResult {
 // Hit with ddo=true when the Dirty Data Optimization elided the check.
 func (c *Controller) LLCWrite(addr uint64) (res cache.LookupResult, ddo bool) {
 	c.counters.LLCWrite++
-	h, res := c.Cache.Probe(addr)
+	set, tag, chIdx := c.locate(&c.writeLoc, addr)
+	h, res := c.Cache.ProbeAt(set, tag)
+	ch := c.DRAM.ChannelAt(chIdx)
 
 	if !c.DisableDDO && res == cache.Hit && c.Cache.LLCOwned(h) {
 		// DDO: the controller knows the LLC owns this exact line, so
@@ -299,7 +354,7 @@ func (c *Controller) LLCWrite(addr uint64) (res cache.LookupResult, ddo bool) {
 		c.counters.DDO++
 		c.counters.TagHit++
 		c.counters.DRAMWrite++
-		c.DRAM.Write(addr)
+		ch.CASWrites++
 		c.Cache.MarkDirty(h)
 		c.Cache.SetLLCOwned(h, false)
 		return res, true
@@ -307,7 +362,7 @@ func (c *Controller) LLCWrite(addr uint64) (res cache.LookupResult, ddo bool) {
 
 	// DRAM read purely for the tag check.
 	c.counters.DRAMRead++
-	c.DRAM.Read(addr)
+	ch.CASReads++
 
 	switch {
 	case res == cache.Hit:
@@ -322,15 +377,163 @@ func (c *Controller) LLCWrite(addr uint64) (res cache.LookupResult, ddo bool) {
 	default:
 		// Insert-on-miss, even for a full-line write: the miss handler
 		// fetches the line from NVRAM and installs it first.
-		c.missHandler(addr, h, res)
+		c.missHandler(&c.counters, ch, addr, h, tag, res)
 	}
 
 	// The actual write of the incoming line.
 	c.counters.DRAMWrite++
-	c.DRAM.Write(addr)
+	ch.CASWrites++
 	c.Cache.MarkDirty(h)
 	c.Cache.SetLLCOwned(h, false)
 	return res, false
+}
+
+// LLCReadRange services n consecutive line reads starting at the line
+// containing addr — the batched form of calling LLCRead on each line in
+// ascending order. Counters accumulate in a local and flush once, and
+// the per-line DRAM data read (which happens unconditionally, hit or
+// miss) is distributed over the channels arithmetically instead of line
+// by line. Tag probes and NVRAM traffic remain per line because they
+// depend on cache state. Counter results — imc.Counters, per-channel
+// CAS, NVRAM media counters — are byte-identical to the per-line path
+// (the differential tests pin this).
+func (c *Controller) LLCReadRange(addr uint64, n uint64) {
+	if n == 0 {
+		return
+	}
+	var d Counters
+	d.LLCRead = n
+	d.DRAMRead = n
+	c.DRAM.ReadRange(addr, n)
+	// Consecutive lines map to consecutive tag-store sets and DRAM
+	// channels, so the walk advances both incrementally after a single
+	// division at the range start.
+	sets := c.Cache.Sets()
+	set, tag := c.Cache.Index(addr)
+	nch := c.DRAM.Channels()
+	chIdx := c.DRAM.ChannelIndex(addr)
+	end := addr + n*mem.Line
+	for a := addr; a < end; a += mem.Line {
+		h, res := c.Cache.ProbeAt(set, tag)
+		switch {
+		case res == cache.Hit:
+			d.TagHit++
+			c.Cache.SetLLCOwned(h, true)
+		case !c.policy.ReadAllocate:
+			// Ablation: forward from NVRAM without caching; the
+			// hierarchy never owns an uncached line.
+			d.TagMissClean++
+			d.NVRAMRead++
+			c.NVRAM.Read(a)
+		default:
+			if res == cache.MissDirty {
+				d.TagMissDirty++
+				if victim, ok := c.Cache.VictimAddr(h); ok {
+					d.NVRAMWrite++
+					c.NVRAM.Write(victim)
+				}
+			} else {
+				d.TagMissClean++
+			}
+			d.NVRAMRead++
+			c.NVRAM.Read(a)
+			d.DRAMWrite++
+			c.DRAM.ChannelAt(chIdx).CASWrites++
+			c.Cache.InstallTag(h, tag)
+			c.Cache.SetLLCOwned(h, true)
+		}
+		set++
+		if set == sets {
+			set, tag = 0, tag+1
+		}
+		chIdx++
+		if chIdx == nch {
+			chIdx = 0
+		}
+	}
+	c.counters = c.counters.Add(d)
+}
+
+// LLCWriteRange services n consecutive line writebacks starting at the
+// line containing addr — the batched form of calling LLCWrite on each
+// line in ascending order, with counters accumulated in a local and
+// flushed once. DRAM traffic stays per line because it depends on the
+// per-line DDO and tag-check outcomes. Counter-identical to the
+// per-line path.
+func (c *Controller) LLCWriteRange(addr uint64, n uint64) {
+	if n == 0 {
+		return
+	}
+	var d Counters
+	d.LLCWrite = n
+	sets := c.Cache.Sets()
+	set, tag := c.Cache.Index(addr)
+	nch := c.DRAM.Channels()
+	chIdx := c.DRAM.ChannelIndex(addr)
+	end := addr + n*mem.Line
+	for a := addr; a < end; a += mem.Line {
+		h, res := c.Cache.ProbeAt(set, tag)
+		ch := c.DRAM.ChannelAt(chIdx)
+
+		switch {
+		case !c.DisableDDO && res == cache.Hit && c.Cache.LLCOwned(h):
+			d.DDO++
+			d.TagHit++
+			d.DRAMWrite++
+			ch.CASWrites++
+			c.Cache.MarkDirty(h)
+			c.Cache.SetLLCOwned(h, false)
+		case res == cache.Hit:
+			// DRAM read purely for the tag check.
+			d.DRAMRead++
+			ch.CASReads++
+			d.TagHit++
+			d.DRAMWrite++
+			ch.CASWrites++
+			c.Cache.MarkDirty(h)
+			c.Cache.SetLLCOwned(h, false)
+		case !c.policy.WriteAllocate:
+			// Ablation: write-around straight to NVRAM after the tag
+			// check.
+			d.DRAMRead++
+			ch.CASReads++
+			d.TagMissClean++
+			d.NVRAMWrite++
+			c.NVRAM.Write(a)
+		default:
+			d.DRAMRead++
+			ch.CASReads++
+			if res == cache.MissDirty {
+				d.TagMissDirty++
+				if victim, ok := c.Cache.VictimAddr(h); ok {
+					d.NVRAMWrite++
+					c.NVRAM.Write(victim)
+				}
+			} else {
+				d.TagMissClean++
+			}
+			d.NVRAMRead++
+			c.NVRAM.Read(a)
+			d.DRAMWrite++
+			ch.CASWrites++
+			c.Cache.InstallTag(h, tag)
+			// The actual write of the incoming line.
+			d.DRAMWrite++
+			ch.CASWrites++
+			c.Cache.MarkDirty(h)
+			c.Cache.SetLLCOwned(h, false)
+		}
+
+		set++
+		if set == sets {
+			set, tag = 0, tag+1
+		}
+		chIdx++
+		if chIdx == nch {
+			chIdx = 0
+		}
+	}
+	c.counters = c.counters.Add(d)
 }
 
 // FlushAll writes every dirty line back to NVRAM and invalidates the

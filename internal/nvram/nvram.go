@@ -17,6 +17,7 @@ package nvram
 import (
 	"fmt"
 
+	"twolm/internal/fastdiv"
 	"twolm/internal/mem"
 )
 
@@ -34,9 +35,27 @@ type DIMM struct {
 	MediaWrites uint64 // 256 B media block writes
 
 	// xpbuffer models the write-combining window: the media block
-	// addresses of the most recent pending writes.
-	xpbuf     []uint64
+	// addresses of the most recent pending writes, in a fixed ring so
+	// the membership scan compares against a constant-size array.
+	xpbuf     [xpBufferEntries]uint64
+	xpbufLen  int
 	xpbufNext int
+
+	// lastWriteBlock short-circuits the common case: the block written
+	// by the previous Write is always resident in the buffer (a merge
+	// finds it there; an insert just put it there), so a repeat of the
+	// same block merges without scanning. Sequential 64 B streams take
+	// this path three times out of four.
+	lastWriteBlock uint64
+	haveLastWrite  bool
+
+	// xpbufBound is an upper bound on the block addresses resident in
+	// the buffer (the maximum ever inserted, never decreased). A block
+	// above the bound cannot be resident, so the membership scan is
+	// skipped — which makes the miss path of a monotonically ascending
+	// write stream O(1) instead of a full ring scan. A stale-high bound
+	// only costs a useless scan, never a wrong merge.
+	xpbufBound uint64
 
 	lastReadBlock uint64
 	haveLastRead  bool
@@ -50,7 +69,7 @@ const xpBufferEntries = 16
 
 // newDIMM returns a DIMM with an empty combining buffer.
 func newDIMM() *DIMM {
-	return &DIMM{xpbuf: make([]uint64, 0, xpBufferEntries)}
+	return &DIMM{}
 }
 
 // Read records a 64 B read at addr, merging consecutive reads of the
@@ -72,18 +91,34 @@ func (d *DIMM) Read(addr uint64) {
 func (d *DIMM) Write(addr uint64) {
 	d.Writes++
 	block := addr / MediaBlock
-	for _, b := range d.xpbuf {
-		if b == block {
-			return // merged into a pending media write
+	if d.haveLastWrite && block == d.lastWriteBlock {
+		return // merged into a pending media write
+	}
+	if block <= d.xpbufBound {
+		for i := 0; i < d.xpbufLen; i++ {
+			if d.xpbuf[i] == block {
+				d.lastWriteBlock = block
+				d.haveLastWrite = true
+				return // merged into a pending media write
+			}
 		}
 	}
 	d.MediaWrites++
-	if len(d.xpbuf) < cap(d.xpbuf) {
-		d.xpbuf = append(d.xpbuf, block)
-		return
+	if d.xpbufLen < xpBufferEntries {
+		d.xpbuf[d.xpbufLen] = block
+		d.xpbufLen++
+	} else {
+		d.xpbuf[d.xpbufNext] = block
+		d.xpbufNext++
+		if d.xpbufNext == xpBufferEntries {
+			d.xpbufNext = 0
+		}
 	}
-	d.xpbuf[d.xpbufNext] = block
-	d.xpbufNext = (d.xpbufNext + 1) % len(d.xpbuf)
+	if block > d.xpbufBound {
+		d.xpbufBound = block
+	}
+	d.lastWriteBlock = block
+	d.haveLastWrite = true
 }
 
 // WriteAmplification returns media bytes written per interface byte
@@ -98,7 +133,20 @@ func (d *DIMM) WriteAmplification() float64 {
 // Module is one socket's worth of NVRAM: n interleaved DIMMs.
 type Module struct {
 	dimms    []*DIMM
+	dimmDiv  fastdiv.Divisor
 	capacity uint64
+
+	// Memoized interleave lookups. The chunk-to-DIMM mapping is static,
+	// so a memo hit is always correct; reads and writes memoize
+	// separately because the controller's miss path interleaves a
+	// sequential victim-writeback stream with a sequential fill-read
+	// stream, and a shared memo would thrash between the two. A Module
+	// is driven by one goroutine (the sharded engine gives each shard
+	// its own modules), so the memo fields need no synchronization.
+	lastReadChunk  uint64
+	lastRead       *DIMM
+	lastWriteChunk uint64
+	lastWrite      *DIMM
 }
 
 // New returns an NVRAM module with the given DIMM count and total
@@ -110,7 +158,11 @@ func New(dimms int, capacity uint64) (*Module, error) {
 	if capacity == 0 || capacity%mem.Line != 0 {
 		return nil, fmt.Errorf("nvram: capacity %d must be a positive multiple of %d", capacity, mem.Line)
 	}
-	m := &Module{dimms: make([]*DIMM, dimms), capacity: capacity}
+	m := &Module{
+		dimms:    make([]*DIMM, dimms),
+		dimmDiv:  fastdiv.New(uint64(dimms)),
+		capacity: capacity,
+	}
 	for i := range m.dimms {
 		m.dimms[i] = newDIMM()
 	}
@@ -124,18 +176,35 @@ func (m *Module) DIMMs() int { return len(m.dimms) }
 func (m *Module) Capacity() uint64 { return m.capacity }
 
 // dimm maps a line address onto its interleaved DIMM. Optane interleave
-// granularity is 4 KiB on real platforms.
+// granularity is 4 KiB on real platforms. Six DIMMs per socket is not a
+// power of two, so the interleave mod uses a precomputed reciprocal.
 const interleaveGranularity = 4 * 1024
 
 func (m *Module) dimm(addr uint64) *DIMM {
-	return m.dimms[(addr/interleaveGranularity)%uint64(len(m.dimms))]
+	return m.dimms[m.dimmDiv.Mod(addr/interleaveGranularity)]
 }
 
 // Read records one 64 B read transaction at addr.
-func (m *Module) Read(addr uint64) { m.dimm(addr).Read(addr) }
+func (m *Module) Read(addr uint64) {
+	chunk := addr / interleaveGranularity
+	d := m.lastRead
+	if d == nil || chunk != m.lastReadChunk {
+		d = m.dimms[m.dimmDiv.Mod(chunk)]
+		m.lastRead, m.lastReadChunk = d, chunk
+	}
+	d.Read(addr)
+}
 
 // Write records one 64 B write transaction at addr.
-func (m *Module) Write(addr uint64) { m.dimm(addr).Write(addr) }
+func (m *Module) Write(addr uint64) {
+	chunk := addr / interleaveGranularity
+	d := m.lastWrite
+	if d == nil || chunk != m.lastWriteChunk {
+		d = m.dimms[m.dimmDiv.Mod(chunk)]
+		m.lastWrite, m.lastWriteChunk = d, chunk
+	}
+	d.Write(addr)
+}
 
 // TotalReads returns interface read transactions summed over DIMMs.
 func (m *Module) TotalReads() uint64 {
@@ -186,9 +255,11 @@ func (m *Module) WriteAmplification() float64 {
 	return float64(media*MediaBlock) / float64(iface*mem.Line)
 }
 
-// Reset zeroes all counters and combining state.
+// Reset zeroes all counters and combining state. The interleave memos
+// are dropped because they point at the replaced DIMMs.
 func (m *Module) Reset() {
 	for i := range m.dimms {
 		m.dimms[i] = newDIMM()
 	}
+	m.lastRead, m.lastWrite = nil, nil
 }

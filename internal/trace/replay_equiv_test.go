@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"twolm/internal/core"
+	"twolm/internal/kernels"
+	"twolm/internal/mem"
+)
+
+// TestLiveTapReplayEquivalence guards the batched fast path's tap
+// fallback from three sides at once. For each kernel shape it runs:
+//
+//   - a live system with no tap, which takes the batched range fast
+//     paths through the demand pipeline;
+//   - a live system with the trace recorder attached, which forces
+//     every Range call down the per-line slow path so the tap observes
+//     each operation;
+//   - a fresh system driven by replaying the recorded trace, which
+//     issues the operations one by one through the public per-line API.
+//
+// All three must land on byte-identical imc.Counters, per-channel CAS
+// counts, and NVRAM media counters: if the fast path ever diverged
+// from the per-line path, or the tap missed an operation, recorded
+// traces would silently stop being faithful stand-ins for live runs.
+func TestLiveTapReplayEquivalence(t *testing.T) {
+	specs := []kernels.Spec{
+		{Op: kernels.ReadOnly, Pattern: mem.Sequential, Threads: 4},
+		{Op: kernels.WriteOnly, Pattern: mem.Sequential, Threads: 4},
+		{Op: kernels.WriteOnly, Pattern: mem.Sequential, Store: kernels.Nontemporal, Threads: 4},
+		{Op: kernels.ReadModifyWrite, Pattern: mem.Sequential, Threads: 4},
+		{Op: kernels.ReadModifyWrite, Pattern: mem.Random, Granularity: 128, Threads: 4},
+	}
+	for _, mode := range []core.Mode{core.Mode2LM, core.Mode1LM} {
+		for _, spec := range specs {
+			t.Run(fmt.Sprintf("%s/%s", mode, spec.Name()), func(t *testing.T) {
+				run := func(sys *core.System) mem.Region {
+					region, err := sys.AddressSpace().Alloc(2 * sys.Platform().DRAMSize())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := kernels.Run(sys, region, spec); err != nil {
+						t.Fatal(err)
+					}
+					return region
+				}
+
+				fast := newSystem(t, mode)
+				run(fast)
+
+				recSys := newSystem(t, mode)
+				var buf bytes.Buffer
+				w := NewWriter(&buf)
+				w.Attach(recSys)
+				run(recSys)
+				Detach(recSys)
+				if err := w.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if w.Ops() == 0 {
+					t.Fatal("recorder observed no operations")
+				}
+
+				replaySys := newSystem(t, mode)
+				replaySys.SetThreads(recSys.Threads())
+				if _, err := Replay(replaySys, &buf); err != nil {
+					t.Fatal(err)
+				}
+				// kernels.Run drains the LLC and syncs; the replayed
+				// stream contains only the demand ops, so drain to match.
+				replaySys.DrainLLC()
+
+				assertSameTraffic(t, "fast vs tapped", fast, recSys)
+				assertSameTraffic(t, "tapped vs replayed", recSys, replaySys)
+			})
+		}
+	}
+}
+
+// assertSameTraffic asserts byte-identical controller counters,
+// per-channel CAS counts, and NVRAM interface/media counters.
+func assertSameTraffic(t *testing.T, label string, a, b *core.System) {
+	t.Helper()
+	if ac, bc := a.Counters(), b.Counters(); ac != bc {
+		t.Errorf("%s: counters diverge\n a: %v\n b: %v", label, ac, bc)
+	}
+	ach, bch := a.DRAM().ChannelCounters(), b.DRAM().ChannelCounters()
+	for i := range ach {
+		if ach[i] != bch[i] {
+			t.Errorf("%s: channel %d CAS diverges: %+v vs %+v", label, i, ach[i], bch[i])
+		}
+	}
+	type media struct{ r, w, mr, mw uint64 }
+	am := media{a.NVRAM().TotalReads(), a.NVRAM().TotalWrites(),
+		a.NVRAM().TotalMediaReads(), a.NVRAM().TotalMediaWrites()}
+	bm := media{b.NVRAM().TotalReads(), b.NVRAM().TotalWrites(),
+		b.NVRAM().TotalMediaReads(), b.NVRAM().TotalMediaWrites()}
+	if am != bm {
+		t.Errorf("%s: NVRAM media counters diverge: %+v vs %+v", label, am, bm)
+	}
+}

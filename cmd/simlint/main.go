@@ -1,0 +1,304 @@
+// Command simlint runs the repro's invariant analyzers
+// (internal/analysis/...): counterdrift, hotdiv, detrange, ctrmut,
+// and resetcheck. It supports two modes:
+//
+// Standalone (the CI entry point; no toolchain invocation needed):
+//
+//	go run ./cmd/simlint ./...
+//	go run ./cmd/simlint -list
+//	go run ./cmd/simlint ./internal/imc ./internal/engine
+//
+// As a vet tool, speaking the cmd/go unit-checking protocol — the
+// same JSON .cfg handshake golang.org/x/tools/go/analysis/unitchecker
+// implements, reimplemented here on the standard library because the
+// module deliberately has no dependencies:
+//
+//	go vet -vettool=$(which simlint) ./...
+//
+// Exit status: 0 clean; 1 usage or internal error; 2 findings (the
+// vet convention).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"twolm/internal/analysis/lintkit"
+	"twolm/internal/analysis/simlint"
+)
+
+func main() {
+	args := os.Args[1:]
+	// Vet protocol handshakes come before flag parsing: cmd/go calls
+	// the tool with -V=full for a cache-keying version fingerprint,
+	// with -flags for the analyzer flag inventory, and then once per
+	// package unit with a JSON config file argument.
+	for _, a := range args {
+		if strings.HasPrefix(a, "-V=") || strings.HasPrefix(a, "--V=") {
+			printVersion()
+			return
+		}
+		if a == "-flags" || a == "--flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+// printVersion emits the version line cmd/go expects from a vet tool;
+// the fingerprint must change when the tool's behavior changes, so it
+// hashes the executable.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("simlint version devel buildID=%02x\n", h.Sum(nil)[:16])
+}
+
+// --- standalone mode -------------------------------------------------
+
+func runStandalone(args []string) int {
+	fs := flag.NewFlagSet("simlint", flag.ExitOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simlint [-list] [packages]\n\npackages are ./... style patterns or import paths; default ./...\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	if *list {
+		for _, r := range simlint.Rules() {
+			fmt.Printf("%-13s %s\n", r.Analyzer.Name, r.Analyzer.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		return fail(err)
+	}
+	root, modulePath, err := findModule(cwd)
+	if err != nil {
+		return fail(err)
+	}
+	all, err := lintkit.DiscoverModule(root, modulePath)
+	if err != nil {
+		return fail(err)
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := match(all, patterns, root, modulePath, cwd)
+	if err != nil {
+		return fail(err)
+	}
+	findings, err := simlint.Check(root, modulePath, paths)
+	if err != nil {
+		return fail(err)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
+		return 2
+	}
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "simlint:", err)
+	return 1
+}
+
+// findModule walks upward from dir to the enclosing go.mod.
+func findModule(dir string) (root, modulePath string, err error) {
+	for d := dir; ; {
+		if _, statErr := os.Stat(filepath.Join(d, "go.mod")); statErr == nil {
+			mp, err := lintkit.ModuleInfo(d)
+			return d, mp, err
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// match expands ./...-style patterns against the module package list.
+func match(all, patterns []string, root, modulePath, cwd string) ([]string, error) {
+	rel, err := filepath.Rel(root, cwd)
+	if err != nil {
+		return nil, err
+	}
+	base := modulePath
+	if rel != "." {
+		base = modulePath + "/" + filepath.ToSlash(rel)
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, pat := range patterns {
+		// Convert a relative pattern to an import-path pattern.
+		ip := pat
+		if pat == "." {
+			ip = base
+		} else if rest, ok := strings.CutPrefix(pat, "./"); ok {
+			if rest == "..." {
+				ip = base + "/..."
+			} else {
+				ip = base + "/" + strings.TrimSuffix(rest, "/")
+			}
+		}
+		matched := false
+		for _, p := range all {
+			ok := p == ip
+			if prefix, isTree := strings.CutSuffix(ip, "/..."); isTree {
+				ok = p == prefix || strings.HasPrefix(p, prefix+"/")
+				if prefix == modulePath {
+					ok = true
+				}
+			}
+			if ok && !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+			matched = matched || ok
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}
+
+// --- vet tool mode ---------------------------------------------------
+
+// vetConfig is the subset of cmd/go's unit-checking config the tool
+// consumes (the full struct is defined in
+// golang.org/x/tools/go/analysis/unitchecker and mirrored by cmd/go).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return fail(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fail(fmt.Errorf("parsing %s: %w", cfgPath, err))
+	}
+	// Facts output must exist for downstream units even though
+	// simlint's analyzers are fact-free.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+		}
+	}
+
+	importPath := simlint.NormalizeImportPath(cfg.ImportPath)
+	testVariant := importPath != cfg.ImportPath ||
+		strings.HasSuffix(importPath, ".test") ||
+		strings.HasSuffix(importPath, "_test")
+	analyzers := simlint.AnalyzersFor(importPath)
+	// Dependency-only units and test variants carry nothing to check:
+	// the analyzers are production-code invariants, and the plain
+	// package unit already covered the non-test files.
+	if cfg.VetxOnly || testVariant || len(analyzers) == 0 {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return fail(err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		return fail(err)
+	}
+
+	pkg := &lintkit.Package{
+		Fset:       fset,
+		Dir:        cfg.Dir,
+		ImportPath: importPath,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	diags, err := lintkit.Run(pkg, analyzers)
+	if err != nil {
+		return fail(err)
+	}
+	writeVetx()
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,129 @@
+// Package analysistest is a golden-file test harness for lintkit
+// analyzers, modeled on golang.org/x/tools/go/analysis/analysistest
+// but built on the repo's dependency-free lintkit loader.
+//
+// A fixture is a package under the calling test's
+// testdata/src/<name>/ directory. Fixture source marks expected
+// findings with trailing comments of the form
+//
+//	// want `regexp` `another regexp`
+//
+// Each pattern must match at least one diagnostic reported on that
+// line, and every diagnostic must be matched by some pattern on its
+// line; anything else fails the test. Fixture packages may import
+// each other by bare name (testdata/src acts as the import root), and
+// //lint:ignore suppression is active, so fixtures can also pin the
+// suppression behavior itself.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"twolm/internal/analysis/lintkit"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	file     string
+	line     int
+	pattern  *regexp.Regexp
+	matched  bool
+}
+
+// Run loads testdata/src/<fixture> relative to the test's working
+// directory, applies the analyzer (with suppression directives
+// honored), and checks the diagnostics against the fixture's want
+// comments. It returns the surviving diagnostics for any extra
+// assertions the caller wants to make.
+func Run(t *testing.T, analyzer *lintkit.Analyzer, fixture string) []lintkit.Diagnostic {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcRoot := filepath.Join(wd, "testdata", "src")
+	loader := lintkit.NewLoader(func(path string) (string, bool) {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	})
+	pkg, err := loader.Load(fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+
+	expects, err := parseExpectations(pkg.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diags, err := lintkit.Run(pkg, []*lintkit.Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", analyzer.Name, fixture, err)
+	}
+
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		ok := false
+		for _, e := range expects {
+			if e.file == p.Filename && e.line == p.Line && e.pattern.MatchString(d.Message) {
+				e.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: unexpected diagnostic [%s] %s", p.Filename, p.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+	return diags
+}
+
+// parseExpectations scans every .go file in dir for want comments.
+func parseExpectations(dir string) ([]*expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, rest, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			ms := wantRE.FindAllStringSubmatch(rest, -1)
+			if len(ms) == 0 {
+				return nil, fmt.Errorf("%s:%d: want comment without a backquoted pattern", path, i+1)
+			}
+			for _, m := range ms {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+				}
+				out = append(out, &expectation{file: path, line: i + 1, pattern: re})
+			}
+		}
+	}
+	return out, nil
+}

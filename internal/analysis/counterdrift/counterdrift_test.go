@@ -1,0 +1,30 @@
+package counterdrift_test
+
+import (
+	"testing"
+
+	"twolm/internal/analysis/analysistest"
+	"twolm/internal/analysis/counterdrift"
+)
+
+// TestDrift: a seeded fake field missing from Add/Sub/String and a
+// hand-rolled merge are both caught.
+func TestDrift(t *testing.T) {
+	diags := analysistest.Run(t, counterdrift.Analyzer, "drift")
+	// One finding per missing pipeline stage plus one for the merge.
+	if len(diags) != 4 {
+		t.Errorf("got %d diagnostics, want 4 (Add, Sub, String, MergeCounters)", len(diags))
+	}
+}
+
+// TestClean: the compliant shape produces no findings.
+func TestClean(t *testing.T) {
+	if diags := analysistest.Run(t, counterdrift.Analyzer, "driftok"); len(diags) != 0 {
+		t.Errorf("clean fixture produced %d diagnostics", len(diags))
+	}
+}
+
+// TestMissingMethods: dropping Sub and String is itself an error.
+func TestMissingMethods(t *testing.T) {
+	analysistest.Run(t, counterdrift.Analyzer, "driftnostring")
+}

@@ -1,0 +1,36 @@
+// Package driftok is the clean shape: every field flows through Add,
+// Sub, and String, and the merge delegates to Add.
+package driftok
+
+import "fmt"
+
+type Counters struct {
+	Reads  uint64
+	Writes uint64
+}
+
+func (c Counters) Add(o Counters) Counters {
+	c.Reads += o.Reads
+	c.Writes += o.Writes
+	return c
+}
+
+func (c Counters) Sub(o Counters) Counters {
+	c.Reads -= o.Reads
+	c.Writes -= o.Writes
+	return c
+}
+
+func (c Counters) String() string {
+	return fmt.Sprintf("r=%d w=%d", c.Reads, c.Writes)
+}
+
+// MergeCounters aggregates through Add, so new fields can never fall
+// out of the merge.
+func MergeCounters(cs ...Counters) Counters {
+	var total Counters
+	for _, c := range cs {
+		total = total.Add(c)
+	}
+	return total
+}

@@ -1,0 +1,26 @@
+package ctrmut_test
+
+import (
+	"testing"
+
+	"twolm/internal/analysis/analysistest"
+	"twolm/internal/analysis/ctrmut"
+)
+
+// TestOwnPackage: Controller/Counters methods and local accumulators
+// pass; a free-function poke is flagged even inside imc.
+func TestOwnPackage(t *testing.T) {
+	diags := analysistest.Run(t, ctrmut.Analyzer, "imc")
+	if len(diags) != 1 {
+		t.Errorf("got %d diagnostics, want 1", len(diags))
+	}
+}
+
+// TestConsumerPackage: declared accumulators and the Add pipeline
+// pass; ad-hoc cross-package mutation is flagged.
+func TestConsumerPackage(t *testing.T) {
+	diags := analysistest.Run(t, ctrmut.Analyzer, "ctruse")
+	if len(diags) != 2 {
+		t.Errorf("got %d diagnostics, want 2", len(diags))
+	}
+}

@@ -1,0 +1,45 @@
+// Package imc is a miniature clone of the real controller package:
+// ctrmut keys on a struct named Counters declared in a package named
+// imc, so the fixture reproduces that shape.
+package imc
+
+type Counters struct {
+	Reads  uint64
+	Writes uint64
+}
+
+// Add is a Counters method: mutation of the value receiver's fields
+// is the sanctioned pipeline.
+func (c Counters) Add(o Counters) Counters {
+	c.Reads += o.Reads
+	c.Writes += o.Writes
+	return c
+}
+
+type Controller struct {
+	counters Counters
+}
+
+// Read mutates through a Controller method: allowed.
+func (c *Controller) Read() { c.counters.Reads++ }
+
+// Counters returns a snapshot.
+func (c *Controller) Counters() Counters { return c.counters }
+
+// drain uses the batched range paths' local-accumulator flush shape:
+// allowed in the counters' own package.
+func drain(n int) Counters {
+	var d Counters
+	for i := 0; i < n; i++ {
+		d.Writes++
+	}
+	return d
+}
+
+// Tamper is a free function poking a controller's counters from
+// outside any method: flagged even inside the imc package.
+func Tamper(c *Controller) {
+	c.counters.Reads++ // want `counter field imc\.Reads mutated outside the counter pipeline`
+}
+
+var _ = drain

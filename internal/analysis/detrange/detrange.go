@@ -1,0 +1,120 @@
+// Package detrange guards determinism in every code path that feeds
+// counters, results artifacts, or replay logs. The channel-sharded
+// engine's counter-exactness proof and the byte-identical artifact
+// contract (diff -r between -parallel runs) both assume that
+// simulator code never observes nondeterministic ordering or ambient
+// entropy. Three constructs break that silently:
+//
+//   - ranging over a map (iteration order is randomized per run),
+//   - time.Now (wall clock leaks into simulated state or artifacts),
+//   - the global math/rand source (shared, unseeded, order-dependent).
+//
+// Seeded generators (rand.New(rand.NewSource(seed))) remain fine; the
+// analyzer only flags calls through the package-level source.
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"twolm/internal/analysis/lintkit"
+)
+
+// Analyzer is the detrange analyzer.
+var Analyzer = &lintkit.Analyzer{
+	Name: "detrange",
+	Doc: "no map iteration, time.Now, or global math/rand in simulator " +
+		"packages; counter exactness and byte-identical artifacts assume " +
+		"deterministic ordering",
+	Run: run,
+}
+
+// seededConstructors are math/rand functions that build explicit,
+// seedable generators rather than drawing from the global source.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.RangeStmt:
+				t := pass.TypesInfo.TypeOf(e.X)
+				if t == nil {
+					return true
+				}
+				if m, ok := t.Underlying().(*types.Map); ok && !keyCollectionLoop(e) {
+					pass.Reportf(e.X.Pos(),
+						"iteration over %s has randomized order; counter, artifact, and replay paths must be deterministic — collect and sort the keys first", types.TypeString(m, types.RelativeTo(pass.Pkg)))
+				}
+			case *ast.CallExpr:
+				checkCall(pass, e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// keyCollectionLoop matches the first half of the canonical
+// deterministic idiom — `for k := range m { keys = append(keys, k) }`
+// — whose body is order-insensitive by construction (the sort that
+// follows fixes the order). Exempting it keeps the recommended fix
+// itself lint-clean.
+func keyCollectionLoop(rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || rs.Value != nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	src, ok := call.Args[0].(*ast.Ident)
+	arg, ok2 := call.Args[1].(*ast.Ident)
+	return ok && ok2 && src.Name == dst.Name && arg.Name == key.Name
+}
+
+func checkCall(pass *lintkit.Pass, ce *ast.CallExpr) {
+	se, ok := ce.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := se.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		if se.Sel.Name == "Now" {
+			pass.Reportf(ce.Pos(),
+				"time.Now in simulator code leaks wall-clock nondeterminism into state that must replay identically; model time explicitly or suppress with a reason if this measures the simulator itself")
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededConstructors[se.Sel.Name] {
+			pass.Reportf(ce.Pos(),
+				"rand.%s draws from the global math/rand source, which is order-dependent across goroutines and runs; use a seeded rand.New(rand.NewSource(seed))", se.Sel.Name)
+		}
+	}
+}

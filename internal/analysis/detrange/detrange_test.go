@@ -1,0 +1,17 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"twolm/internal/analysis/analysistest"
+	"twolm/internal/analysis/detrange"
+)
+
+// TestDeterminism: map iteration, time.Now, and global rand are
+// flagged; the sorted-keys idiom and seeded generators are not.
+func TestDeterminism(t *testing.T) {
+	diags := analysistest.Run(t, detrange.Analyzer, "detbad")
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics, want 3 (map range, time.Now, rand.Intn)", len(diags))
+	}
+}

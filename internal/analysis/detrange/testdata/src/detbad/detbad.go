@@ -1,0 +1,47 @@
+// Package detbad exercises all three determinism hazards plus the
+// allowed shapes next to each.
+package detbad
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// EmitUnsorted walks a map directly into an artifact: order changes
+// run to run.
+func EmitUnsorted(counts map[string]uint64, emit func(string, uint64)) {
+	for k, v := range counts { // want `iteration over map\[string\]uint64 has randomized order`
+		emit(k, v)
+	}
+}
+
+// EmitSorted is the deterministic shape: collect, sort, then walk the
+// slice. The key-collection loop is recognized and exempt, so the
+// canonical fix is itself lint-clean.
+func EmitSorted(counts map[string]uint64, emit func(string, uint64)) {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		emit(k, counts[k])
+	}
+}
+
+// Stamp leaks the wall clock into simulated state.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in simulator code`
+}
+
+// Roll draws from the shared global source.
+func Roll(n int) int {
+	return rand.Intn(n) // want `rand\.Intn draws from the global math/rand source`
+}
+
+// RollSeeded is the reproducible shape: an explicit seeded generator.
+func RollSeeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}

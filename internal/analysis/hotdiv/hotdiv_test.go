@@ -1,0 +1,30 @@
+package hotdiv_test
+
+import (
+	"testing"
+
+	"twolm/internal/analysis/analysistest"
+	"twolm/internal/analysis/hotdiv"
+)
+
+// TestHotPath: runtime divisors flagged; constants, floats, and
+// constructors exempt.
+func TestHotPath(t *testing.T) {
+	diags := analysistest.Run(t, hotdiv.Analyzer, "hotbad")
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics, want 3", len(diags))
+	}
+}
+
+// TestSuppression: a reasoned //lint:ignore silences one finding; a
+// stale directive is reported instead of rotting silently.
+func TestSuppression(t *testing.T) {
+	diags := analysistest.Run(t, hotdiv.Analyzer, "hotsup")
+	var kinds []string
+	for _, d := range diags {
+		kinds = append(kinds, d.Analyzer)
+	}
+	if len(diags) != 2 {
+		t.Errorf("got %d diagnostics (%v), want 2: one surviving hotdiv, one lintdirective", len(diags), kinds)
+	}
+}

@@ -1,0 +1,23 @@
+// Package hotsup pins the suppression discipline: an explicit
+// //lint:ignore with a reason silences a finding, and a directive
+// that silences nothing is itself reported.
+package hotsup
+
+// Cold is measured and genuinely off the per-line path, so the
+// exception is declared and audited.
+func Cold(a, b uint64) uint64 {
+	//lint:ignore hotdiv epoch rollover division, runs once per epoch not per line
+	return a / b
+}
+
+// Unsuppressed sits right next to it and is still caught.
+func Unsuppressed(a, b uint64) uint64 {
+	return a % b // want `integer modulo \(%\) with a non-constant divisor`
+}
+
+//lint:ignore hotdiv stale exception kept after the code was fixed // want `unused //lint:ignore directive for hotdiv`
+
+// Fixed no longer divides, so the directive above has nothing to do.
+func Fixed(a uint64) uint64 {
+	return a >> 3
+}

@@ -1,0 +1,270 @@
+// Package lintkit is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary on top of the standard
+// library's go/ast and go/types. The module vendors no third-party
+// code, so the simlint analyzers (internal/analysis/...) are written
+// against this package instead of x/tools; the API is shaped the same
+// way (Analyzer, Pass, Diagnostic) so the analyzers port mechanically
+// if x/tools ever becomes available.
+//
+// Beyond the x/tools subset, lintkit owns the suppression discipline:
+// a diagnostic may be silenced only by an explicit, auditable
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// directive on the flagged line or the line directly above it. The
+// reason is mandatory, and a directive that silences nothing is itself
+// a diagnostic, so stale exceptions cannot accumulate.
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. Run inspects a single
+// type-checked package via the Pass and reports findings with
+// Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. Lowercase, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced,
+	// shown by `simlint -list`.
+	Doc string
+	// Run performs the check. It reports findings via pass.Reportf
+	// and returns an error only for internal failures (a broken
+	// invariant is a Diagnostic, not an error).
+	Run func(pass *Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether node's file is a _test.go file. The
+// invariants simlint guards are production hot-path properties;
+// tests legitimately use `%` oracles, map iteration, and wall clocks,
+// so every analyzer skips test files via this helper.
+func (p *Pass) InTestFile(node ast.Node) bool {
+	f := p.Fset.File(node.Pos())
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// A Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos       token.Pos
+	file      string
+	line      int  // source line the directive text sits on
+	analyzers map[string]bool
+	malformed string // non-empty: why the directive could not be parsed
+	used      bool
+}
+
+// parseDirectives extracts //lint:ignore directives from a file's
+// comments. A directive suppresses matching diagnostics on its own
+// line (trailing form) and on the line immediately below (standalone
+// form above the offending statement).
+func parseDirectives(fset *token.FileSet, f *ast.File) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(text, "lint:ignore")
+			if len(text) == len(c.Text)-2 { // prefix absent
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d := &ignoreDirective{pos: c.Pos(), file: pos.Filename, line: pos.Line}
+			fields := strings.Fields(text)
+			switch {
+			case len(fields) == 0:
+				d.malformed = "missing analyzer name and reason"
+			case len(fields) == 1:
+				d.malformed = fmt.Sprintf("suppressing %q without a reason; the reason is mandatory so exceptions stay auditable", fields[0])
+			default:
+				d.analyzers = map[string]bool{}
+				for _, name := range strings.Split(fields[0], ",") {
+					d.analyzers[name] = true
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over one loaded package, applies the
+// //lint:ignore suppression discipline, and returns the surviving
+// diagnostics sorted by position. Malformed and unused directives are
+// reported under the pseudo-analyzer name "lintdirective" so that a
+// suppression can never rot silently.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+
+	var directives []*ignoreDirective
+	for _, f := range pkg.Files {
+		if tf := pkg.Fset.File(f.Pos()); tf != nil && strings.HasSuffix(tf.Name(), "_test.go") {
+			continue
+		}
+		directives = append(directives, parseDirectives(pkg.Fset, f)...)
+	}
+
+	var kept []Diagnostic
+	for _, d := range raw {
+		p := pkg.Fset.Position(d.Pos)
+		suppressed := false
+		for _, dir := range directives {
+			if dir.malformed != "" || dir.file != p.Filename || !dir.analyzers[d.Analyzer] {
+				continue
+			}
+			if dir.line == p.Line || dir.line == p.Line-1 {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range directives {
+		switch {
+		case dir.malformed != "":
+			kept = append(kept, Diagnostic{Pos: dir.pos, Analyzer: "lintdirective",
+				Message: "malformed //lint:ignore directive: " + dir.malformed})
+		case !dir.used:
+			names := make([]string, 0, len(dir.analyzers))
+			for n := range dir.analyzers {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			kept = append(kept, Diagnostic{Pos: dir.pos, Analyzer: "lintdirective",
+				Message: fmt.Sprintf("unused //lint:ignore directive for %s: nothing is suppressed here; delete it", strings.Join(names, ","))})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(kept[i].Pos), pkg.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return kept[i].Message < kept[j].Message
+	})
+	return kept, nil
+}
+
+// RawDiagnostics runs the analyzers with suppression disabled,
+// returning every finding including ones a //lint:ignore directive
+// would hide. The hot-package guarantee test uses this to prove the
+// four hot packages are clean outright, not clean-via-suppression.
+func RawDiagnostics(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	return raw, nil
+}
+
+// LineDirective reports whether the source line holding pos, or the
+// line directly above it, carries a comment containing marker (for
+// example "ctrmut:accumulator"). Analyzers use this for declaration
+// markers that are part of an invariant's contract rather than a
+// suppression.
+func LineDirective(fset *token.FileSet, files []*ast.File, pos token.Pos, marker string) bool {
+	p := fset.Position(pos)
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		if tf == nil || tf.Name() != p.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, marker) {
+					continue
+				}
+				cl := fset.Position(c.Pos()).Line
+				if cl == p.Line {
+					return true
+				}
+				// A marker on the line above only counts when the
+				// comment starts the line; a trailing comment on the
+				// previous declaration must not bless this one.
+				if cl == p.Line-1 && fset.Position(c.Pos()).Column <= firstColumn(fset, f, cl) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// firstColumn returns the smallest column of any non-comment token on
+// the given line of f, or a sentinel larger than any real column when
+// the line holds nothing but comments.
+func firstColumn(fset *token.FileSet, f *ast.File, line int) int {
+	min := 1 << 30
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if p := fset.Position(n.Pos()); p.Line == line && p.Column < min {
+			min = p.Column
+		}
+		return true
+	})
+	return min
+}

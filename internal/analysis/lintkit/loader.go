@@ -1,0 +1,205 @@
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one fully parsed and type-checked package, ready for
+// analysis.
+type Package struct {
+	Fset       *token.FileSet
+	Dir        string
+	ImportPath string
+	Files      []*ast.File // non-test files only
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// A Loader parses and type-checks packages from source with no
+// toolchain invocation and no third-party dependencies. Import paths
+// are resolved by Resolve; anything it declines falls back to the
+// standard library, type-checked from $GOROOT/src by the stdlib
+// source importer.
+type Loader struct {
+	Fset *token.FileSet
+	// Resolve maps an import path to the directory holding its
+	// source, or ok=false to delegate to the standard library.
+	Resolve func(importPath string) (dir string, ok bool)
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a loader with the given resolver.
+func NewLoader(resolve func(string) (string, bool)) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		Resolve: resolve,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    map[string]*Package{},
+	}
+}
+
+// NewModuleLoader returns a loader rooted at a module directory:
+// import paths under modulePath resolve to subdirectories of root.
+func NewModuleLoader(root, modulePath string) *Loader {
+	return NewLoader(func(path string) (string, bool) {
+		if path == modulePath {
+			return root, true
+		}
+		if rel, ok := strings.CutPrefix(path, modulePath+"/"); ok {
+			return filepath.Join(root, filepath.FromSlash(rel)), true
+		}
+		return "", false
+	})
+}
+
+// Import implements types.Importer over the resolver, so packages
+// under analysis can import each other.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	dir, ok := l.Resolve(path)
+	if !ok {
+		return l.std.Import(path)
+	}
+	p, err := l.load(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+// Load parses and type-checks the package at importPath, resolving it
+// through the loader's resolver. Results are memoized, so loading a
+// package that was already pulled in as a dependency is free.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	dir, ok := l.Resolve(importPath)
+	if !ok {
+		return nil, fmt.Errorf("lintkit: import path %q does not resolve to a source directory", importPath)
+	}
+	return l.load(importPath, dir)
+}
+
+func (l *Loader) load(importPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lintkit: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lintkit: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lintkit: no non-test Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lintkit: type-checking %s: %w", importPath, err)
+	}
+	p := &Package{
+		Fset:       l.Fset,
+		Dir:        dir,
+		ImportPath: importPath,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// DiscoverModule walks a module root and returns the import paths of
+// every package in it (directories holding at least one non-test .go
+// file), sorted. testdata trees, hidden directories, and vendor are
+// skipped, matching the go tool's ./... semantics.
+func DiscoverModule(root, modulePath string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, ".") {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					out = append(out, modulePath)
+				} else {
+					out = append(out, modulePath+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ModuleInfo reads the module path out of root/go.mod.
+func ModuleInfo(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lintkit: no module directive in %s/go.mod", root)
+}

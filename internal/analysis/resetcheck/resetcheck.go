@@ -1,0 +1,175 @@
+// Package resetcheck flags broken Counters snapshot arithmetic at the
+// call site. Counters are monotonic within a measurement interval, so
+// an interval delta is always later.Sub(earlier); two misuses produce
+// silently-wrong data instead of errors, because Sub clamps at zero:
+//
+//   - reversed operands — earlier.Sub(later) clamps every field to 0,
+//   - snapshots straddling ResetCounters — the controller (and its
+//     DRAM/NVRAM modules) restarted from zero between the two
+//     captures, so their difference measures nothing.
+//
+// The analysis is lexical within one function body: it tracks
+// `x := recv.Counters()` captures, recv.ResetCounters() calls, and
+// a.Sub(b) uses on the same receiver, comparing source positions. It
+// deliberately ignores control flow — a pattern tangled enough to
+// defeat it should be rewritten, or carry an explicit //lint:ignore
+// with its justification.
+package resetcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"twolm/internal/analysis/lintkit"
+)
+
+// Analyzer is the resetcheck analyzer.
+var Analyzer = &lintkit.Analyzer{
+	Name: "resetcheck",
+	Doc: "Counters snapshot deltas must be later.Sub(earlier) with no " +
+		"ResetCounters between the captures; clamped Sub turns both " +
+		"misuses into silent zeros",
+	Run: run,
+}
+
+type capture struct {
+	pos  token.Pos
+	recv string
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lintkit.Pass, body *ast.BlockStmt) {
+	snaps := map[types.Object]capture{}
+	var resets []capture
+
+	// First pass: collect snapshot captures and reset positions.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, rhs := range s.Rhs {
+				id, ok := s.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				recv, ok := snapshotCall(pass, rhs, "Counters")
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj != nil {
+					snaps[obj] = capture{pos: rhs.Pos(), recv: recv}
+				}
+			}
+		case *ast.ExprStmt:
+			if recv, ok := snapshotCall(pass, s.X, "ResetCounters"); ok {
+				resets = append(resets, capture{pos: s.X.Pos(), recv: recv})
+			}
+		}
+		return true
+	})
+
+	// Second pass: audit every Counters.Sub call.
+	ast.Inspect(body, func(n ast.Node) bool {
+		ce, ok := n.(*ast.CallExpr)
+		if !ok || len(ce.Args) != 1 {
+			return true
+		}
+		se, ok := ce.Fun.(*ast.SelectorExpr)
+		if !ok || se.Sel.Name != "Sub" || !isCounters(pass.TypesInfo.TypeOf(se.X)) {
+			return true
+		}
+		a, aok := operand(pass, snaps, se.X)
+		b, bok := operand(pass, snaps, ce.Args[0])
+		if !aok || !bok || a.recv != b.recv {
+			return true
+		}
+		switch {
+		case a.pos < b.pos:
+			pass.Reportf(ce.Pos(),
+				"reversed snapshot delta: the receiver of Sub was captured before its argument, so every monotonic field clamps to zero; swap the operands")
+		case straddles(resets, a, b):
+			pass.Reportf(ce.Pos(),
+				"snapshot delta straddles ResetCounters on %s: the counters restarted from zero between the two captures, so the difference is meaningless", a.recv)
+		}
+		return true
+	})
+}
+
+// snapshotCall matches a zero-argument method call named method and
+// returns a stable key for its receiver expression.
+func snapshotCall(pass *lintkit.Pass, e ast.Expr, method string) (string, bool) {
+	ce, ok := e.(*ast.CallExpr)
+	if !ok || len(ce.Args) != 0 {
+		return "", false
+	}
+	se, ok := ce.Fun.(*ast.SelectorExpr)
+	if !ok || se.Sel.Name != method {
+		return "", false
+	}
+	return types.ExprString(se.X), true
+}
+
+// operand resolves one side of a Sub call to its capture: either a
+// tracked snapshot identifier or an inline recv.Counters() call.
+func operand(pass *lintkit.Pass, snaps map[types.Object]capture, e ast.Expr) (capture, bool) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[v]; obj != nil {
+			c, ok := snaps[obj]
+			return c, ok
+		}
+	case *ast.CallExpr:
+		if recv, ok := snapshotCall(pass, v, "Counters"); ok {
+			return capture{pos: v.Pos(), recv: recv}, true
+		}
+	}
+	return capture{}, false
+}
+
+// straddles reports whether any reset on the same receiver falls
+// between the two capture positions (b earlier, a later).
+func straddles(resets []capture, a, b capture) bool {
+	for _, r := range resets {
+		if r.recv == a.recv && b.pos < r.pos && r.pos < a.pos {
+			return true
+		}
+	}
+	return false
+}
+
+// isCounters reports whether t is (a pointer to) a struct type named
+// Counters — scoping the Sub pattern away from time.Time.Sub and
+// friends.
+func isCounters(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Name() != "Counters" {
+		return false
+	}
+	_, ok = n.Underlying().(*types.Struct)
+	return ok
+}

@@ -1,0 +1,17 @@
+package resetcheck_test
+
+import (
+	"testing"
+
+	"twolm/internal/analysis/analysistest"
+	"twolm/internal/analysis/resetcheck"
+)
+
+// TestSnapshotPairing: reversed deltas and deltas straddling
+// ResetCounters are flagged; correct and cross-receiver shapes pass.
+func TestSnapshotPairing(t *testing.T) {
+	diags := analysistest.Run(t, resetcheck.Analyzer, "resetbad")
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics, want 3", len(diags))
+	}
+}

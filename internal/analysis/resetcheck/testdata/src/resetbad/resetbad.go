@@ -1,0 +1,75 @@
+// Package resetbad exercises the snapshot-pairing rules around a
+// miniature controller.
+package resetbad
+
+type Counters struct {
+	N uint64
+}
+
+func (c Counters) Sub(o Counters) Counters {
+	if o.N > c.N {
+		c.N = 0
+	} else {
+		c.N -= o.N
+	}
+	return c
+}
+
+type Ctrl struct {
+	c Counters
+}
+
+func (c *Ctrl) Counters() Counters { return c.c }
+func (c *Ctrl) ResetCounters()     { c.c = Counters{} }
+func (c *Ctrl) Work()              { c.c.N++ }
+
+// Delta is the correct shape: later.Sub(earlier), no reset between.
+func Delta(ct *Ctrl) Counters {
+	before := ct.Counters()
+	ct.Work()
+	after := ct.Counters()
+	return after.Sub(before)
+}
+
+// Reversed subtracts the later snapshot from the earlier one; every
+// monotonic field clamps to zero.
+func Reversed(ct *Ctrl) Counters {
+	before := ct.Counters()
+	ct.Work()
+	after := ct.Counters()
+	return before.Sub(after) // want `reversed snapshot delta`
+}
+
+// Straddle resets the controller between the two captures, so the
+// delta measures nothing.
+func Straddle(ct *Ctrl) Counters {
+	before := ct.Counters()
+	ct.ResetCounters()
+	ct.Work()
+	after := ct.Counters()
+	return after.Sub(before) // want `snapshot delta straddles ResetCounters`
+}
+
+// InlineDelta captures the receiver side inline: still the correct
+// order, still clean.
+func InlineDelta(ct *Ctrl) Counters {
+	before := ct.Counters()
+	ct.Work()
+	return ct.Counters().Sub(before)
+}
+
+// InlineReversed captures the argument side inline: the argument is
+// taken after the receiver, which is the reversed order.
+func InlineReversed(ct *Ctrl) Counters {
+	before := ct.Counters()
+	ct.Work()
+	return before.Sub(ct.Counters()) // want `reversed snapshot delta`
+}
+
+// TwoControllers subtracts snapshots of different receivers; the
+// lexical analysis stays out of it.
+func TwoControllers(a, b *Ctrl) Counters {
+	ca := a.Counters()
+	cb := b.Counters()
+	return cb.Sub(ca)
+}

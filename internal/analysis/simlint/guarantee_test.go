@@ -1,0 +1,136 @@
+package simlint_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"twolm/internal/analysis/simlint"
+)
+
+// moduleRoot walks up from the package directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestHotQuartetHasNoSuppressions greps the four hot packages' source
+// for every escape hatch the lint suite understands. The point of the
+// guarantee is that imc/cache/dram/nvram pass the analyzers outright:
+// no //lint:ignore, no nolint, no //ctrmut:accumulator declarations.
+func TestHotQuartetHasNoSuppressions(t *testing.T) {
+	root := moduleRoot(t)
+	markers := []string{"lint:ignore", "nolint", "ctrmut:accumulator"}
+	for _, pkg := range simlint.HotQuartet {
+		dir := filepath.Join(root, strings.TrimPrefix(pkg, "twolm/"))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range markers {
+				if strings.Contains(string(src), m) {
+					t.Errorf("%s/%s contains %q; hot-path packages must pass the analyzers without suppressions", pkg, e.Name(), m)
+				}
+			}
+		}
+	}
+}
+
+// TestHotQuartetCleanWithoutSuppression runs every applicable analyzer
+// over the hot quartet with the suppression machinery disabled — the
+// in-process form of the nolint-free guarantee.
+func TestHotQuartetCleanWithoutSuppression(t *testing.T) {
+	root := moduleRoot(t)
+	findings, err := simlint.CheckRaw(root, "twolm", simlint.HotQuartet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("raw finding on hot path: %s", f)
+	}
+}
+
+// TestVettoolHotQuartet builds cmd/simlint and drives it through the
+// real `go vet -vettool` protocol over the hot quartet, proving the
+// unitchecker shim works end to end against the live tree.
+func TestVettoolHotQuartet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and recompiles four packages")
+	}
+	root := moduleRoot(t)
+	tool := filepath.Join(t.TempDir(), "simlint")
+
+	build := exec.Command("go", "build", "-o", tool, "./cmd/simlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/simlint: %v\n%s", err, out)
+	}
+
+	args := append([]string{"vet", "-vettool=" + tool}, simlint.HotQuartet...)
+	vet := exec.Command("go", args...)
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool over hot quartet failed: %v\n%s", err, out)
+	}
+}
+
+// TestRegistryScope pins the package→analyzer mapping the registry
+// promises, including vet test-variant normalization.
+func TestRegistryScope(t *testing.T) {
+	names := func(p string) map[string]bool {
+		out := map[string]bool{}
+		for _, a := range simlint.AnalyzersFor(p) {
+			out[a.Name] = true
+		}
+		return out
+	}
+
+	imc := names("twolm/internal/imc")
+	for _, want := range []string{"counterdrift", "hotdiv", "detrange", "ctrmut", "resetcheck"} {
+		if !imc[want] {
+			t.Errorf("imc should get %s", want)
+		}
+	}
+
+	res := names("twolm/internal/results")
+	if res["hotdiv"] {
+		t.Error("results is not a hot-path package; hotdiv should not apply")
+	}
+	if !res["detrange"] {
+		t.Error("results emits report artifacts; detrange should apply")
+	}
+	if res["counterdrift"] {
+		t.Error("counterdrift is scoped to imc and engine only")
+	}
+
+	if got := names("twolm/internal/engine [twolm/internal/engine.test]"); !got["counterdrift"] {
+		t.Error("test-variant unit name should normalize to the engine scope")
+	}
+
+	if got := names("example.com/other"); len(got) != 0 {
+		t.Errorf("foreign import path matched analyzers: %v", got)
+	}
+}

@@ -1,0 +1,180 @@
+// Package simlint is the registry and driver for the repro's
+// invariant analyzers. It decides which analyzer runs on which
+// package — the analyzers themselves are policy-free — and exposes
+// the in-process entry point shared by cmd/simlint and the
+// hot-package guarantee test.
+//
+// Scoping, from ISSUE/DESIGN:
+//
+//   - hotdiv runs on the per-line hot packages (imc, cache, dram,
+//     nvram, core) plus the sharded engine's routing layer;
+//   - detrange additionally covers every package that feeds counters,
+//     results artifacts, or replay logs (mem, trace, results);
+//   - counterdrift runs where Counters and its aggregators live (imc,
+//     engine);
+//   - ctrmut and resetcheck are whole-module rules: ad-hoc counter
+//     mutation or reversed snapshot deltas are wrong anywhere.
+package simlint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+
+	"twolm/internal/analysis/counterdrift"
+	"twolm/internal/analysis/ctrmut"
+	"twolm/internal/analysis/detrange"
+	"twolm/internal/analysis/hotdiv"
+	"twolm/internal/analysis/lintkit"
+	"twolm/internal/analysis/resetcheck"
+)
+
+// A Rule pairs an analyzer with the set of packages it applies to.
+type Rule struct {
+	Analyzer *lintkit.Analyzer
+	Match    func(importPath string) bool
+}
+
+// HotQuartet is the set of packages that must stay suppression-free
+// outright (the nolint-free guarantee test enforces this): the four
+// packages on the per-simulated-line path.
+var HotQuartet = []string{
+	"twolm/internal/imc",
+	"twolm/internal/cache",
+	"twolm/internal/dram",
+	"twolm/internal/nvram",
+}
+
+var hotPackages = map[string]bool{
+	"twolm/internal/imc":    true,
+	"twolm/internal/cache":  true,
+	"twolm/internal/dram":   true,
+	"twolm/internal/nvram":  true,
+	"twolm/internal/core":   true,
+	"twolm/internal/engine": true,
+}
+
+var deterministicPackages = map[string]bool{
+	"twolm/internal/imc":     true,
+	"twolm/internal/cache":   true,
+	"twolm/internal/dram":    true,
+	"twolm/internal/nvram":   true,
+	"twolm/internal/core":    true,
+	"twolm/internal/engine":  true,
+	"twolm/internal/mem":     true,
+	"twolm/internal/trace":   true,
+	"twolm/internal/results": true,
+}
+
+var counterPackages = map[string]bool{
+	"twolm/internal/imc":    true,
+	"twolm/internal/engine": true,
+}
+
+// Rules returns every analyzer with its package scope.
+func Rules() []Rule {
+	inModule := func(path string) bool {
+		return path == "twolm" || strings.HasPrefix(path, "twolm/")
+	}
+	return []Rule{
+		{counterdrift.Analyzer, func(p string) bool { return counterPackages[p] }},
+		{hotdiv.Analyzer, func(p string) bool { return hotPackages[p] }},
+		{detrange.Analyzer, func(p string) bool { return deterministicPackages[p] }},
+		{ctrmut.Analyzer, inModule},
+		{resetcheck.Analyzer, inModule},
+	}
+}
+
+// AnalyzersFor returns the analyzers that apply to importPath. Vet
+// test-variant unit names ("pkg [pkg.test]") are normalized first.
+func AnalyzersFor(importPath string) []*lintkit.Analyzer {
+	importPath = NormalizeImportPath(importPath)
+	var out []*lintkit.Analyzer
+	for _, r := range Rules() {
+		if r.Match(importPath) {
+			out = append(out, r.Analyzer)
+		}
+	}
+	return out
+}
+
+// NormalizeImportPath strips the test-variant suffix go vet uses for
+// packages recompiled with their test files.
+func NormalizeImportPath(p string) string {
+	if i := strings.Index(p, " ["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+// A Finding is one resolved diagnostic with its source position.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+}
+
+// Check loads and analyzes the given module packages (import paths)
+// with suppression directives honored, returning all surviving
+// findings sorted per package. root is the module root directory.
+func Check(root, modulePath string, importPaths []string) ([]Finding, error) {
+	loader := lintkit.NewModuleLoader(root, modulePath)
+	var out []Finding
+	for _, path := range importPaths {
+		analyzers := AnalyzersFor(path)
+		if len(analyzers) == 0 {
+			continue
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		diags, err := lintkit.Run(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range diags {
+			out = append(out, Finding{
+				Position: pkg.Fset.Position(d.Pos),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+	return out, nil
+}
+
+// CheckRaw is Check with suppression disabled: every violation is
+// returned even if a //lint:ignore directive covers it. The guarantee
+// test uses this to prove the hot quartet is clean without
+// exceptions.
+func CheckRaw(root, modulePath string, importPaths []string) ([]Finding, error) {
+	loader := lintkit.NewModuleLoader(root, modulePath)
+	var out []Finding
+	for _, path := range importPaths {
+		analyzers := AnalyzersFor(path)
+		if len(analyzers) == 0 {
+			continue
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		diags, err := lintkit.RawDiagnostics(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range diags {
+			out = append(out, Finding{
+				Position: pkg.Fset.Position(d.Pos),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+	return out, nil
+}

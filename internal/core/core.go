@@ -94,7 +94,11 @@ type System struct {
 	// same imc.Counters shape for uniform reporting.
 	dramMod  *dram.Module
 	nvramMod *nvram.Module
-	flat     imc.Counters
+	// The 1LM ("flat" mode) demand counters. In flat mode there is no
+	// controller, so System itself accumulates the per-pool traffic;
+	// the marker declares this to the ctrmut analyzer as the one
+	// sanctioned counter-accumulation site outside internal/imc.
+	flat imc.Counters //ctrmut:accumulator 1LM flat-mode demand counters, read back via Counters()
 
 	// llc models the on-chip cache in front of the IMC: direct mapped,
 	// line granular. It exists to (a) coalesce repeated touches and

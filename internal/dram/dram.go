@@ -93,7 +93,7 @@ func (m *Module) ChannelAt(i int) *Channel { return &m.channels[i] }
 func (m *Module) rangeCounts(addr, n uint64, bump func(c *Channel, cnt uint64)) {
 	ch := uint64(len(m.channels))
 	first := m.chDiv.Mod(addr >> mem.LineShift)
-	base, rem := n/ch, n%ch
+	base, rem := m.chDiv.DivMod(n)
 	for k := uint64(0); k < ch; k++ {
 		cnt := base
 		if k < rem {

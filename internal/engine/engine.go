@@ -36,6 +36,7 @@ import (
 
 	"twolm/internal/cache"
 	"twolm/internal/dram"
+	"twolm/internal/fastdiv"
 	"twolm/internal/imc"
 	"twolm/internal/mem"
 	"twolm/internal/nvram"
@@ -59,6 +60,10 @@ type ShardConfig struct {
 type Sharded struct {
 	shards []*imc.Controller
 	n      uint64
+	// nDiv divides by the channel count without a hardware divide;
+	// route runs once per replayed op, so the divider matters the same
+	// way it does in the per-line demand pipeline.
+	nDiv fastdiv.Divisor
 }
 
 // NewSharded builds a sharded controller. The per-channel DRAM slice
@@ -82,7 +87,7 @@ func NewSharded(cfg ShardConfig) (*Sharded, error) {
 		return nil, fmt.Errorf("engine: NVRAM capacity %d must split into %d channels of whole lines",
 			cfg.NVRAMCapacity, cfg.Channels)
 	}
-	s := &Sharded{shards: make([]*imc.Controller, cfg.Channels), n: n}
+	s := &Sharded{shards: make([]*imc.Controller, cfg.Channels), n: n, nDiv: fastdiv.New(n)}
 	for i := range s.shards {
 		d, err := dram.New(1, cfg.DRAMCapacity/n)
 		if err != nil {
@@ -109,7 +114,7 @@ func (s *Sharded) Shard(i int) *imc.Controller { return s.shards[i] }
 
 // ChannelOf returns the channel that owns addr's line.
 func (s *Sharded) ChannelOf(addr uint64) int {
-	return int((addr >> mem.LineShift) % s.n)
+	return int(s.nDiv.Mod(addr >> mem.LineShift))
 }
 
 // route resolves addr to its owning channel and channel-local address.
@@ -117,8 +122,9 @@ func (s *Sharded) ChannelOf(addr uint64) int {
 // NVRAM module keeps seeing byte addresses.
 func (s *Sharded) route(addr uint64) (ctrl *imc.Controller, local uint64) {
 	line := addr >> mem.LineShift
-	local = (line/s.n)<<mem.LineShift | (addr & (mem.Line - 1))
-	return s.shards[line%s.n], local
+	q, r := s.nDiv.DivMod(line)
+	local = q<<mem.LineShift | (addr & (mem.Line - 1))
+	return s.shards[r], local
 }
 
 // LLCRead services a demand read through the owning channel.
@@ -246,7 +252,7 @@ func (s *Sharded) replayLocal(ch int, part []Op) {
 	ctrl := s.shards[ch]
 	for _, op := range part {
 		line := op.Addr >> mem.LineShift
-		local := (line/s.n)<<mem.LineShift | (op.Addr & (mem.Line - 1))
+		local := s.nDiv.Div(line)<<mem.LineShift | (op.Addr & (mem.Line - 1))
 		if op.Write {
 			ctrl.LLCWrite(local)
 		} else {

@@ -128,6 +128,7 @@ func MeasureThroughput(cfg ThroughputConfig) (*ThroughputReport, error) {
 			// paper's measurement procedure.
 			SeqPass(sys, region)
 			var lines uint64
+			//lint:ignore detrange lines-per-second throughput measures the simulator's own wall clock by design
 			start := time.Now()
 			for p := 0; p < cfg.Passes; p++ {
 				if random {

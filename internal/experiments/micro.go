@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"twolm/internal/core"
+	"twolm/internal/imc"
 	"twolm/internal/kernels"
 	"twolm/internal/mem"
 	"twolm/internal/platform"
@@ -260,8 +261,9 @@ func Table1(cfg MicroConfig) (*results.Table, error) {
 		}
 		if sc.name == "LLC write (DDO)" {
 			// Isolate the write side: subtract the read-hit traffic
-			// (1 DRAM read per demand read, no other events).
-			ctr.DRAMRead -= ctr.LLCRead
+			// (1 DRAM read per demand read, no other events) through the
+			// clamped counter pipeline rather than ad-hoc field math.
+			ctr = ctr.Sub(imc.Counters{DRAMRead: ctr.LLCRead})
 			demand = ctr.LLCWrite
 		}
 		per := func(n uint64) float64 { return float64(n) / float64(demand) }

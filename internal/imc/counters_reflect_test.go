@@ -1,0 +1,101 @@
+package imc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// These tests are the runtime half of the counterdrift static check:
+// they walk the Counters struct with reflection, so a field added
+// without updating Add/Sub/String fails here even if the linter never
+// runs.
+
+// TestCountersFieldsAreUint64 pins the struct shape the reflection
+// probes below rely on: every field is an exported uint64.
+func TestCountersFieldsAreUint64(t *testing.T) {
+	rt := reflect.TypeOf(Counters{})
+	if rt.NumField() == 0 {
+		t.Fatal("Counters has no fields")
+	}
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if !f.IsExported() {
+			t.Errorf("field %s is unexported; counters must be externally mergeable", f.Name)
+		}
+		if f.Type.Kind() != reflect.Uint64 {
+			t.Errorf("field %s is %s, want uint64", f.Name, f.Type)
+		}
+	}
+}
+
+// setField returns a Counters with only field i set to v.
+func setField(t *testing.T, i int, v uint64) Counters {
+	t.Helper()
+	var c Counters
+	reflect.ValueOf(&c).Elem().Field(i).SetUint(v)
+	return c
+}
+
+// field reads field i of c.
+func field(c Counters, i int) uint64 {
+	return reflect.ValueOf(c).Field(i).Uint()
+}
+
+// TestAddCoversEveryField: for each field in turn, zero.Add(one-hot)
+// must carry exactly that field through — a field Add forgets comes
+// back zero and a field Add double-counts comes back doubled.
+func TestAddCoversEveryField(t *testing.T) {
+	rt := reflect.TypeOf(Counters{})
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		got := Counters{}.Add(setField(t, i, 7))
+		for j := 0; j < rt.NumField(); j++ {
+			want := uint64(0)
+			if j == i {
+				want = 7
+			}
+			if v := field(got, j); v != want {
+				t.Errorf("Add(one-hot %s): field %s = %d, want %d",
+					name, rt.Field(j).Name, v, want)
+			}
+		}
+	}
+}
+
+// TestSubInvertsAddPerField: (a.Add(b)).Sub(b) == a with every field
+// populated distinctly, so a drifting field cannot cancel out.
+func TestSubInvertsAddPerField(t *testing.T) {
+	rt := reflect.TypeOf(Counters{})
+	var a, b Counters
+	av, bv := reflect.ValueOf(&a).Elem(), reflect.ValueOf(&b).Elem()
+	for i := 0; i < rt.NumField(); i++ {
+		av.Field(i).SetUint(uint64(100 + i))
+		bv.Field(i).SetUint(uint64(1 + i))
+	}
+	if got := a.Add(b).Sub(b); got != a {
+		t.Errorf("a.Add(b).Sub(b) = %+v, want %+v", got, a)
+	}
+	// Sub must also touch each field individually.
+	for i := 0; i < rt.NumField(); i++ {
+		one := setField(t, i, 3)
+		if got := one.Sub(one); got != (Counters{}) {
+			t.Errorf("one-hot %s: c.Sub(c) = %+v, want zero", rt.Field(i).Name, got)
+		}
+	}
+}
+
+// TestStringCoversEveryField: flipping any single field must change
+// the String rendering, otherwise a counter is invisible in reports.
+func TestStringCoversEveryField(t *testing.T) {
+	rt := reflect.TypeOf(Counters{})
+	base := Counters{}.String()
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		if s := setField(t, i, 99).String(); s == base {
+			t.Errorf("String() does not reflect field %s", name)
+		} else if !strings.Contains(s, "99") {
+			t.Errorf("String() with %s=99 does not render the value: %q", name, s)
+		}
+	}
+}

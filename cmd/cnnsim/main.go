@@ -5,10 +5,17 @@
 //
 // Usage:
 //
-//	cnnsim [-scale N] [-experiment all|fig5|fig6|fig10|table2] [-csv dir]
+//	cnnsim [-scale N] [-quick] [-experiment all|fig5|fig6|fig10|table2]
+//	       [-out dir] [-metrics-addr host:port]
 //
-// With -csv, the per-kernel bandwidth/tag traces (Figures 5 and 10)
-// are written as CSV files into the given directory.
+// With -out, the per-kernel bandwidth/tag traces (Figures 5 and 10)
+// are written as CSV files into the given directory (created if
+// missing; this flag replaces the historical -csv). -quick shrinks the
+// footprint to the 1/8192 sanity scale. -metrics-addr serves progress
+// gauges and the traces' cumulative counters at /metrics while the
+// study runs. -parallel and -channels are accepted for interface
+// uniformity with the other binaries; this study runs its experiments
+// sequentially on one modeled socket.
 package main
 
 import (
@@ -18,24 +25,51 @@ import (
 	"path/filepath"
 
 	"twolm/internal/experiments"
+	"twolm/internal/runcfg"
+	"twolm/internal/telemetry"
 )
 
 func main() {
-	scale := flag.Uint64("scale", 1024, "footprint scale divisor (power of two)")
+	rc := runcfg.Defaults()
+	rc.Out = "" // print-only unless -out asks for trace CSVs
+	rc.Register(flag.CommandLine)
 	which := flag.String("experiment", "all", "experiment: all, fig5, fig6, fig10, table2")
-	csvDir := flag.String("csv", "", "directory to write trace CSVs into")
 	flag.Parse()
 
 	cfg := experiments.DefaultCNNConfig()
-	cfg.Scale = *scale
+	cfg.Scale = rc.Scale
+	if rc.Quick {
+		cfg.Scale = 8192
+	}
 
-	if err := run(cfg, *which, *csvDir); err != nil {
+	if err := run(cfg, *which, rc); err != nil {
 		fmt.Fprintln(os.Stderr, "cnnsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg experiments.CNNConfig, which, csvDir string) error {
+func run(cfg experiments.CNNConfig, which string, rc runcfg.Common) error {
+	if err := rc.Validate(); err != nil {
+		return err
+	}
+	prom, err := rc.Metrics()
+	if err != nil {
+		return err
+	}
+	if prom != nil {
+		fmt.Printf("serving metrics at http://%s/metrics\n", rc.BoundAddr)
+	}
+	if rc.Out != "" {
+		if err := os.MkdirAll(rc.Out, 0o755); err != nil {
+			return err
+		}
+	}
+	completed := func() {
+		if prom != nil {
+			prom.AddGauge("experiments_completed", "Experiments completed so far.", 1)
+		}
+	}
+
 	all := which == "all"
 	if all || which == "fig5" {
 		res, err := experiments.Fig5(cfg)
@@ -45,9 +79,13 @@ func run(cfg experiments.CNNConfig, which, csvDir string) error {
 		fmt.Println(res.Summary.String())
 		fmt.Println(res.Heatmap.String())
 		fmt.Println(res.Liveness.String())
-		if err := writeSeriesCSV(csvDir, "fig5_trace.csv", res); err != nil {
+		if err := writeSeriesCSV(rc.Out, "fig5_trace.csv", res); err != nil {
 			return err
 		}
+		if prom != nil {
+			res.Trace.Emit(telemetry.WithLabel(prom, "fig5_trace"))
+		}
+		completed()
 	}
 	if all || which == "fig6" {
 		table, err := experiments.Fig6(cfg)
@@ -55,6 +93,7 @@ func run(cfg experiments.CNNConfig, which, csvDir string) error {
 			return err
 		}
 		fmt.Println(table.String())
+		completed()
 	}
 	if all || which == "fig10" {
 		res, err := experiments.Fig10(cfg)
@@ -62,8 +101,8 @@ func run(cfg experiments.CNNConfig, which, csvDir string) error {
 			return err
 		}
 		fmt.Println(res.PhaseTable.String())
-		if csvDir != "" {
-			f, err := os.Create(filepath.Join(csvDir, "fig10_trace.csv"))
+		if rc.Out != "" {
+			f, err := os.Create(filepath.Join(rc.Out, "fig10_trace.csv"))
 			if err != nil {
 				return err
 			}
@@ -72,6 +111,10 @@ func run(cfg experiments.CNNConfig, which, csvDir string) error {
 				return err
 			}
 		}
+		if prom != nil {
+			res.Trace.Emit(telemetry.WithLabel(prom, "fig10_trace"))
+		}
+		completed()
 	}
 	if all || which == "table2" {
 		table, _, err := experiments.Table2(cfg)
@@ -79,6 +122,7 @@ func run(cfg experiments.CNNConfig, which, csvDir string) error {
 			return err
 		}
 		fmt.Println(table.String())
+		completed()
 	}
 	if !all {
 		switch which {

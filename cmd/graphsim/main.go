@@ -5,10 +5,18 @@
 //
 // Usage:
 //
-//	graphsim [-scale N] [-small-scale N] [-large-scale N] [-pr-rounds N] [-csv dir]
+//	graphsim [-scale N] [-quick] [-small-scale N] [-large-scale N] [-pr-rounds N]
+//	         [-out dir] [-metrics-addr host:port]
 //
 // All of Figures 7, 8, 9 and the Sage comparison come from one study
-// pass. With -csv, the pagerank traces (Figure 9) are written as CSVs.
+// pass. With -out, the pagerank traces (Figure 9) are written as CSVs
+// into the given directory (created if missing; this flag replaces
+// the historical -csv). -quick shrinks to the sanity-pass geometry
+// (scale 16384, smaller graphs, 3 pagerank rounds). -metrics-addr
+// serves progress gauges and the traces' cumulative counters at
+// /metrics. -parallel and -channels are accepted for interface
+// uniformity with the other binaries; the study's placements run
+// sequentially on one modeled socket.
 package main
 
 import (
@@ -19,29 +27,56 @@ import (
 
 	"twolm/internal/experiments"
 	"twolm/internal/perfcounter"
+	"twolm/internal/runcfg"
+	"twolm/internal/telemetry"
 )
 
 func main() {
-	scale := flag.Uint64("scale", 4096, "platform footprint scale divisor (power of two)")
+	rc := runcfg.Defaults()
+	rc.Out = "" // print-only unless -out asks for trace CSVs
+	rc.Scale = 4096
+	rc.Register(flag.CommandLine)
 	smallScale := flag.Int("small-scale", 18, "log2 nodes of the fits-in-cache Kronecker graph")
 	largeScale := flag.Int("large-scale", 21, "log2 nodes of the exceeds-cache web-like graph")
 	prRounds := flag.Int("pr-rounds", 5, "pagerank-push rounds")
-	csvDir := flag.String("csv", "", "directory to write Figure 9 trace CSVs into")
 	flag.Parse()
 
 	cfg := experiments.DefaultGraphConfig()
-	cfg.Scale = *scale
+	cfg.Scale = rc.Scale
 	cfg.SmallScale = *smallScale
 	cfg.LargeScale = *largeScale
 	cfg.PRRounds = *prRounds
+	if rc.Quick {
+		// The sanity-pass geometry the suite uses for repro -quick.
+		cfg.Scale = 16384
+		cfg.SmallScale = 14
+		cfg.LargeScale = 19
+		cfg.PRRounds = 3
+	}
 
-	if err := run(cfg, *csvDir); err != nil {
+	if err := run(cfg, rc); err != nil {
 		fmt.Fprintln(os.Stderr, "graphsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg experiments.GraphConfig, csvDir string) error {
+func run(cfg experiments.GraphConfig, rc runcfg.Common) error {
+	if err := rc.Validate(); err != nil {
+		return err
+	}
+	prom, err := rc.Metrics()
+	if err != nil {
+		return err
+	}
+	if prom != nil {
+		fmt.Printf("serving metrics at http://%s/metrics\n", rc.BoundAddr)
+	}
+	if rc.Out != "" {
+		if err := os.MkdirAll(rc.Out, 0o755); err != nil {
+			return err
+		}
+	}
+
 	study, err := experiments.RunGraphStudy(cfg)
 	if err != nil {
 		return err
@@ -54,18 +89,27 @@ func run(cfg experiments.GraphConfig, csvDir string) error {
 	fmt.Println(study.Fig9().String())
 	fmt.Println(study.SageTable().String())
 
-	if csvDir != "" {
-		small, large := study.Fig9Traces()
+	small, large := study.Fig9Traces()
+	if rc.Out != "" {
 		if small != nil {
-			if err := writeCSV(filepath.Join(csvDir, "fig9a_"+study.Small.Name+".csv"), small); err != nil {
+			if err := writeCSV(filepath.Join(rc.Out, "fig9a_"+study.Small.Name+".csv"), small); err != nil {
 				return err
 			}
 		}
 		if large != nil {
-			if err := writeCSV(filepath.Join(csvDir, "fig9b_"+study.Large.Name+".csv"), large); err != nil {
+			if err := writeCSV(filepath.Join(rc.Out, "fig9b_"+study.Large.Name+".csv"), large); err != nil {
 				return err
 			}
 		}
+	}
+	if prom != nil {
+		if small != nil {
+			small.Emit(telemetry.WithLabel(prom, "fig9a_"+study.Small.Name))
+		}
+		if large != nil {
+			large.Emit(telemetry.WithLabel(prom, "fig9b_"+study.Large.Name))
+		}
+		prom.AddGauge("experiments_completed", "Experiments completed so far.", 1)
 	}
 	return nil
 }

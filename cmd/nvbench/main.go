@@ -5,46 +5,89 @@
 //
 // Usage:
 //
-//	nvbench [-scale N] [-experiment all|fig2a|fig2b|table1|fig4a|fig4b|fig4c]
+//	nvbench [-scale N] [-quick] [-experiment all|fig2a|fig2b|table1|fig4a|fig4b|fig4c]
+//	        [-out dir] [-metrics-addr host:port]
 //
-// Results are printed as aligned text tables.
+// Results are printed as aligned text tables; with -out the tables
+// are additionally written as CSVs into the given directory (created
+// if missing). -quick shrinks the footprint to the 1/8192 sanity
+// scale. -metrics-addr serves progress gauges at /metrics. -parallel
+// and -channels are accepted for interface uniformity with the other
+// binaries; the microbenchmarks run sequentially on one modeled
+// socket.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"twolm/internal/experiments"
 	"twolm/internal/results"
+	"twolm/internal/runcfg"
 )
 
 func main() {
-	scale := flag.Uint64("scale", 1024, "footprint scale divisor (power of two)")
+	rc := runcfg.Defaults()
+	rc.Out = "" // print-only unless -out asks for table CSVs
+	rc.Register(flag.CommandLine)
 	which := flag.String("experiment", "all", "experiment to run: all, fig2a, fig2b, table1, fig4a, fig4b, fig4c")
 	flag.Parse()
 
 	cfg := experiments.DefaultMicroConfig()
-	cfg.Scale = *scale
+	cfg.Scale = rc.Scale
+	if rc.Quick {
+		cfg.Scale = 8192
+	}
 
-	if err := run(cfg, *which); err != nil {
+	if err := run(cfg, *which, rc); err != nil {
 		fmt.Fprintln(os.Stderr, "nvbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg experiments.MicroConfig, which string) error {
-	show := func(t *results.Table, err error) error {
+func run(cfg experiments.MicroConfig, which string, rc runcfg.Common) error {
+	if err := rc.Validate(); err != nil {
+		return err
+	}
+	prom, err := rc.Metrics()
+	if err != nil {
+		return err
+	}
+	if prom != nil {
+		fmt.Printf("serving metrics at http://%s/metrics\n", rc.BoundAddr)
+	}
+	if rc.Out != "" {
+		if err := os.MkdirAll(rc.Out, 0o755); err != nil {
+			return err
+		}
+	}
+
+	show := func(name string, t *results.Table, err error) error {
 		if err != nil {
 			return err
 		}
 		fmt.Println(t.String())
+		if rc.Out != "" {
+			f, err := os.Create(filepath.Join(rc.Out, name+".csv"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := t.WriteCSV(f); err != nil {
+				return err
+			}
+		}
+		if prom != nil {
+			prom.AddGauge("experiments_completed", "Experiments completed so far.", 1)
+		}
 		return nil
 	}
 	// Figure 4 panels additionally render as bar charts, the way the
 	// paper plots them.
-	showRows := func(t *results.Table, rows []experiments.Fig4Row, err error) error {
-		if err := show(t, err); err != nil {
+	showRows := func(name string, t *results.Table, rows []experiments.Fig4Row, err error) error {
+		if err := show(name, t, err); err != nil {
 			return err
 		}
 		chart := results.NewBarChart("effective bandwidth by access mode", "GB/s")
@@ -57,32 +100,38 @@ func run(cfg experiments.MicroConfig, which string) error {
 
 	all := which == "all"
 	if all || which == "fig2a" {
-		if err := show(experiments.Fig2a(cfg)); err != nil {
+		t, err := experiments.Fig2a(cfg)
+		if err := show("fig2a_nvram_read_bw", t, err); err != nil {
 			return err
 		}
 	}
 	if all || which == "fig2b" {
-		if err := show(experiments.Fig2b(cfg)); err != nil {
+		t, err := experiments.Fig2b(cfg)
+		if err := show("fig2b_nvram_write_bw", t, err); err != nil {
 			return err
 		}
 	}
 	if all || which == "table1" {
-		if err := show(experiments.Table1(cfg)); err != nil {
+		t, err := experiments.Table1(cfg)
+		if err := show("table1_access_amplification", t, err); err != nil {
 			return err
 		}
 	}
 	if all || which == "fig4a" {
-		if err := showRows(experiments.Fig4a(cfg)); err != nil {
+		t, rows, err := experiments.Fig4a(cfg)
+		if err := showRows("fig4a_read_clean_miss", t, rows, err); err != nil {
 			return err
 		}
 	}
 	if all || which == "fig4b" {
-		if err := showRows(experiments.Fig4b(cfg)); err != nil {
+		t, rows, err := experiments.Fig4b(cfg)
+		if err := showRows("fig4b_write_dirty_miss", t, rows, err); err != nil {
 			return err
 		}
 	}
 	if all || which == "fig4c" {
-		if err := showRows(experiments.Fig4c(cfg)); err != nil {
+		t, rows, err := experiments.Fig4c(cfg)
+		if err := showRows("fig4c_rmw_ddo", t, rows, err); err != nil {
 			return err
 		}
 	}

@@ -15,6 +15,10 @@
 //	nvtrace -replay trace.bin -mode 1lm       # app-direct
 //	nvtrace -replay trace.bin -no-ddo         # DDO ablation
 //	nvtrace -replay trace.bin -ways 4         # associativity ablation
+//
+// With -metrics-addr (the shared runcfg flag), a replay additionally
+// serves its live counters in Prometheus exposition format at
+// /metrics, sampled every 64Ki demand lines.
 package main
 
 import (
@@ -27,6 +31,8 @@ import (
 	"twolm/internal/kernels"
 	"twolm/internal/mem"
 	"twolm/internal/platform"
+	"twolm/internal/runcfg"
+	"twolm/internal/telemetry"
 	"twolm/internal/trace"
 )
 
@@ -43,6 +49,8 @@ func main() {
 	noDDO := flag.Bool("no-ddo", false, "replay with the Dirty Data Optimization disabled")
 	ways := flag.Int("ways", 1, "replay DRAM-cache associativity")
 	writeAround := flag.Bool("write-around", false, "replay without write-miss allocation")
+	var rc runcfg.Common
+	rc.RegisterMetrics(flag.CommandLine)
 	flag.Parse()
 
 	var err error
@@ -52,7 +60,7 @@ func main() {
 	case *record != "":
 		err = doRecord(*record, *op, *pattern, *nt, *arrayMB, *threads, *scale)
 	case *replay != "":
-		err = doReplay(*replay, *mode, *scale, *threads, *noDDO, *ways, *writeAround)
+		err = doReplay(*replay, *mode, *scale, *threads, *noDDO, *ways, *writeAround, &rc)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -136,10 +144,18 @@ func doRecord(path, op, pattern string, nt bool, arrayMB uint64, threads int, sc
 	return nil
 }
 
-func doReplay(path, mode string, scale uint64, threads int, noDDO bool, ways int, writeAround bool) error {
+func doReplay(path, mode string, scale uint64, threads int, noDDO bool, ways int, writeAround bool, rc *runcfg.Common) error {
 	sys, err := newSystem(mode, scale, threads, noDDO, ways, writeAround)
 	if err != nil {
 		return err
+	}
+	prom, err := rc.Metrics()
+	if err != nil {
+		return err
+	}
+	if prom != nil {
+		fmt.Printf("serving metrics at http://%s/metrics\n", rc.BoundAddr)
+		sys.SetTelemetry(telemetry.WithLabel(prom, "replay"), 1<<16)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -154,6 +170,7 @@ func doReplay(path, mode string, scale uint64, threads int, noDDO bool, ways int
 	}
 	sys.DrainLLC()
 	sys.Sync("drain", 0)
+	sys.FlushTelemetry()
 	if err := sys.ValidateCounters(); err != nil {
 		return err
 	}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	repro [-out results] [-scale 1024] [-quick] [-parallel N] [-channels N]
-//	      [-cpuprofile f] [-memprofile f]
+//	      [-metrics-addr host:port] [-cpuprofile f] [-memprofile f]
 //
 // -quick shrinks footprints (scale 8192, smaller graphs) for a fast
 // sanity pass; the defaults match the calibrated study reported in
@@ -15,6 +15,14 @@
 // outcomes are merged by job order, not completion order. -channels
 // sets the IMC channel count of the multichannel sharding self-check
 // (default 6, the Cascade Lake socket).
+//
+// -metrics-addr serves the run live in Prometheus text exposition
+// format at http://host:port/metrics: job-completion progress gauges,
+// the multichannel scenarios' counter samples, and the throughput
+// measurement's bandwidth samples. Independent of the endpoint, the
+// throughput measurement always records a deterministic demand-indexed
+// bandwidth trace to telemetry_throughput_trace.{csv,json} in the
+// output directory.
 //
 // -cpuprofile and -memprofile write pprof profiles of the whole run,
 // for chasing regressions in the simulator-throughput baseline that
@@ -32,14 +40,13 @@ import (
 	"time"
 
 	"twolm/internal/engine"
+	"twolm/internal/runcfg"
+	"twolm/internal/telemetry"
 )
 
 func main() {
-	out := flag.String("out", "results", "output directory")
-	scale := flag.Uint64("scale", 1024, "footprint scale divisor (power of two)")
-	quick := flag.Bool("quick", false, "small footprints for a fast pass")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "experiment worker count (1 = serial)")
-	channels := flag.Int("channels", 6, "IMC channels in the sharding self-check")
+	rc := runcfg.Defaults()
+	rc.Register(flag.CommandLine)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -58,7 +65,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	if err := run(*out, *scale, *quick, *parallel, *channels); err != nil {
+	if err := run(rc); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
@@ -113,53 +120,91 @@ func writeArtifact(dir string, a engine.Artifact) error {
 
 // run executes the suite on the worker pool and writes artifacts in
 // job order, so the report reads identically at any worker count.
-func run(dir string, scale uint64, quick bool, parallel, channels int) error {
+func run(rc runcfg.Common) error {
 	// Reject bad input up front: the pool reports job errors only after
 	// the whole suite drains, which is the wrong place to learn about a
 	// typo in a flag.
-	if scale == 0 || scale&(scale-1) != 0 {
-		return fmt.Errorf("-scale %d must be a nonzero power of two", scale)
+	if err := rc.Validate(); err != nil {
+		return err
 	}
-	if channels < 1 {
-		return fmt.Errorf("-channels %d must be positive", channels)
+	prom, err := rc.Metrics()
+	if err != nil {
+		return err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if prom != nil {
+		fmt.Printf("serving metrics at http://%s/metrics\n", rc.BoundAddr)
+	}
+	if err := os.MkdirAll(rc.Out, 0o755); err != nil {
 		return err
 	}
 	start := time.Now()
 
-	cfg := engine.DefaultSuiteConfig(scale, quick)
-	cfg.Multi.Channels = channels
-	jobs := engine.Suite(cfg)
-	if parallel > 1 {
-		fmt.Printf("running %d experiments on %d workers\n", len(jobs), parallel)
+	cfg := engine.DefaultSuiteConfig(rc.Scale, rc.Quick)
+	cfg.Multi.Channels = rc.Channels
+	if prom != nil {
+		// The sharding self-check publishes each scenario's samples
+		// under its scenario name; Prom locks internally, so it is safe
+		// to share across parallel jobs.
+		cfg.Multi.Telemetry = prom
+		cfg.Multi.SampleEvery = 4096
 	}
-	outs := engine.RunJobs(jobs, parallel)
+	jobs := engine.Suite(cfg)
+	if rc.Parallel > 1 {
+		fmt.Printf("running %d experiments on %d workers\n", len(jobs), rc.Parallel)
+	}
+	var observe func(engine.Outcome)
+	if prom != nil {
+		prom.SetGauge("jobs_total", "Experiment jobs in this run.", float64(len(jobs)))
+		observe = func(engine.Outcome) {
+			prom.AddGauge("jobs_completed", "Experiment jobs completed so far.", 1)
+		}
+	}
+	outs := engine.RunJobsObserved(jobs, rc.Parallel, observe)
 
 	for _, o := range outs {
 		if o.Err != nil {
 			return fmt.Errorf("%s: %w", o.Job, o.Err)
 		}
 		for _, a := range o.Artifacts {
-			if err := writeArtifact(dir, a); err != nil {
+			if err := writeArtifact(rc.Out, a); err != nil {
 				return fmt.Errorf("%s: %w", o.Job, err)
 			}
 		}
 	}
 
-	if err := writeThroughput(dir); err != nil {
+	if err := writeThroughput(rc.Out, prom); err != nil {
 		return fmt.Errorf("throughput baseline: %w", err)
 	}
 
-	fmt.Printf("all artifacts written to %s in %s\n", dir, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("all artifacts written to %s in %s\n", rc.Out, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 
+// throughputSampleEvery is the demand-line sampling interval of the
+// throughput bandwidth trace: at the default 1/8192 measurement scale
+// one pass covers ~786k demand lines, so this yields a few dozen
+// samples per stream configuration.
+const throughputSampleEvery = 65536
+
 // writeThroughput measures simulator throughput (the tracked perf
-// baseline — see DESIGN.md) and writes BENCH_throughput.json.
-func writeThroughput(dir string) error {
-	report, err := engine.MeasureThroughput(engine.DefaultThroughputConfig())
+// baseline — see DESIGN.md) and writes BENCH_throughput.json, plus a
+// deterministic demand-indexed bandwidth trace of the measured runs
+// (telemetry_throughput_trace.{csv,json}), the Figure 5/9-style
+// artifact of the telemetry surface.
+func writeThroughput(dir string, prom *telemetry.Prom) error {
+	trace := telemetry.NewTraceSink(dir, "telemetry_throughput_trace")
+	cfg := engine.DefaultThroughputConfig()
+	cfg.SampleEvery = throughputSampleEvery
+	if prom != nil {
+		cfg.Telemetry = telemetry.Tee(trace, prom)
+	} else {
+		cfg.Telemetry = trace
+	}
+	report, err := engine.MeasureThroughput(cfg)
 	if err != nil {
+		return err
+	}
+	if err := trace.Close(); err != nil {
 		return err
 	}
 	f, err := os.Create(filepath.Join(dir, "BENCH_throughput.json"))

@@ -9,7 +9,9 @@
 //   - hotdiv runs on the per-line hot packages (imc, cache, dram,
 //     nvram, core) plus the sharded engine's routing layer;
 //   - detrange additionally covers every package that feeds counters,
-//     results artifacts, or replay logs (mem, trace, results);
+//     results artifacts, or replay logs (mem, trace, results, and the
+//     telemetry surface, whose serialized series are byte-identical
+//     artifacts by contract);
 //   - counterdrift runs where Counters and its aggregators live (imc,
 //     engine);
 //   - ctrmut and resetcheck are whole-module rules: ad-hoc counter
@@ -55,15 +57,16 @@ var hotPackages = map[string]bool{
 }
 
 var deterministicPackages = map[string]bool{
-	"twolm/internal/imc":     true,
-	"twolm/internal/cache":   true,
-	"twolm/internal/dram":    true,
-	"twolm/internal/nvram":   true,
-	"twolm/internal/core":    true,
-	"twolm/internal/engine":  true,
-	"twolm/internal/mem":     true,
-	"twolm/internal/trace":   true,
-	"twolm/internal/results": true,
+	"twolm/internal/imc":       true,
+	"twolm/internal/cache":     true,
+	"twolm/internal/dram":      true,
+	"twolm/internal/nvram":     true,
+	"twolm/internal/core":      true,
+	"twolm/internal/engine":    true,
+	"twolm/internal/mem":       true,
+	"twolm/internal/trace":     true,
+	"twolm/internal/results":   true,
+	"twolm/internal/telemetry": true,
 }
 
 var counterPackages = map[string]bool{

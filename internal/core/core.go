@@ -34,6 +34,7 @@ import (
 	"twolm/internal/nvram"
 	"twolm/internal/perfcounter"
 	"twolm/internal/platform"
+	"twolm/internal/telemetry"
 )
 
 // Mode selects the platform memory mode.
@@ -132,6 +133,15 @@ type System struct {
 
 	// tap observes the demand stream (trace recording).
 	tap func(op TapOp, addr uint64)
+
+	// Telemetry: an optional sink sampled at demand-line boundaries
+	// from the system-level Range entry points (so samples carry the
+	// simulated clock), plus a forced labeled sample at every Sync.
+	sink        telemetry.Sink
+	sampleEvery uint64
+	nextSample  uint64
+	lastSample  uint64
+	haveSample  bool
 }
 
 // New builds a System from the configuration.
@@ -181,7 +191,7 @@ func New(cfg Config) (*System, error) {
 		if cfg.Policy != nil {
 			policy = *cfg.Policy
 		}
-		ctrl, err := imc.NewWithPolicy(dramMod, nvramMod, policy)
+		ctrl, err := imc.New(dramMod, nvramMod, imc.WithPolicy(policy))
 		if err != nil {
 			return nil, err
 		}
@@ -430,10 +440,13 @@ func (s *System) LoadRange(r mem.Region) {
 		for a := r.Base; a < r.End(); a += mem.Line {
 			s.Load(a)
 		}
-		return
+	} else {
+		s.rangeTouch(r, false)
+		s.demandBytes += mem.Line * r.Lines()
 	}
-	s.rangeTouch(r, false)
-	s.demandBytes += mem.Line * r.Lines()
+	if s.sink != nil {
+		s.maybeSample()
+	}
 }
 
 // StoreRange streams standard stores over every line of r.
@@ -442,10 +455,13 @@ func (s *System) StoreRange(r mem.Region) {
 		for a := r.Base; a < r.End(); a += mem.Line {
 			s.Store(a)
 		}
-		return
+	} else {
+		s.rangeTouch(r, true)
+		s.demandBytes += mem.Line * r.Lines()
 	}
-	s.rangeTouch(r, true)
-	s.demandBytes += mem.Line * r.Lines()
+	if s.sink != nil {
+		s.maybeSample()
+	}
 }
 
 // RMWRange streams read-modify-writes over every line of r.
@@ -454,10 +470,13 @@ func (s *System) RMWRange(r mem.Region) {
 		for a := r.Base; a < r.End(); a += mem.Line {
 			s.RMW(a)
 		}
-		return
+	} else {
+		s.rangeTouch(r, true)
+		s.demandBytes += 2 * mem.Line * r.Lines()
 	}
-	s.rangeTouch(r, true)
-	s.demandBytes += 2 * mem.Line * r.Lines()
+	if s.sink != nil {
+		s.maybeSample()
+	}
 }
 
 // StoreNTRange streams nontemporal stores over every line of r. NT
@@ -469,6 +488,9 @@ func (s *System) StoreNTRange(r mem.Region) {
 	if s.tap != nil {
 		for a := r.Base; a < r.End(); a += mem.Line {
 			s.StoreNT(a)
+		}
+		if s.sink != nil {
+			s.maybeSample()
 		}
 		return
 	}
@@ -491,6 +513,9 @@ func (s *System) StoreNTRange(r mem.Region) {
 		s.flatWriteRange(r.Base, lines)
 	}
 	s.demandBytes += mem.Line * lines
+	if s.sink != nil {
+		s.maybeSample()
+	}
 }
 
 // flatWriteRange routes n consecutive line writes through the 1LM
@@ -612,6 +637,9 @@ func (s *System) DMACopy(src, dst mem.Region) {
 		s.eachPoolRun(dst.Base, srcLines, route(true))
 	}
 	s.dmaBytes += 2 * src.Size
+	if s.sink != nil {
+		s.maybeSample()
+	}
 }
 
 // DrainLLC writes back every dirty line held in the on-chip cache
@@ -651,6 +679,81 @@ func (s *System) Clock() float64 { return s.clock }
 
 // Series returns the sampled counter time series.
 func (s *System) Series() *perfcounter.Series { return &s.series }
+
+// SetTelemetry attaches (or, with a nil sink, detaches) a telemetry
+// sink sampled every `every` demand lines at the Range entry points.
+// Sync additionally force-records a labeled sample at every interval
+// boundary regardless of the demand clock.
+func (s *System) SetTelemetry(sink telemetry.Sink, every uint64) {
+	s.sink = sink
+	s.sampleEvery = every
+	s.haveSample = false
+	s.lastSample = 0
+	if sink != nil {
+		s.nextSample = telemetry.NextBoundary(s.Counters().Demand(), every)
+	}
+}
+
+// Snapshot implements telemetry.Source: the system counters plus the
+// simulated clock and per-channel DRAM CAS counts. Media counters are
+// absent, as on the controller (see imc.Controller.Snapshot); use
+// NVRAM().Snapshot for media-granularity observation.
+func (s *System) Snapshot() telemetry.Sample {
+	ctr := s.Counters()
+	sample := telemetry.Sample{
+		Demand:       ctr.Demand(),
+		Clock:        s.clock,
+		LLCRead:      ctr.LLCRead,
+		LLCWrite:     ctr.LLCWrite,
+		DRAMRead:     ctr.DRAMRead,
+		DRAMWrite:    ctr.DRAMWrite,
+		NVRAMRead:    ctr.NVRAMRead,
+		NVRAMWrite:   ctr.NVRAMWrite,
+		TagHit:       ctr.TagHit,
+		TagMissClean: ctr.TagMissClean,
+		TagMissDirty: ctr.TagMissDirty,
+		DDO:          ctr.DDO,
+	}
+	chs := s.dramMod.ChannelCounters()
+	sample.ChannelReads = make([]uint64, len(chs))
+	sample.ChannelWrites = make([]uint64, len(chs))
+	for i, ch := range chs {
+		sample.ChannelReads[i] = ch.CASReads
+		sample.ChannelWrites[i] = ch.CASWrites
+	}
+	return sample
+}
+
+// maybeSample records a sample if the demand clock crossed the next
+// sampling boundary. Callers have already checked sink != nil.
+func (s *System) maybeSample() {
+	d := s.Counters().Demand()
+	if d < s.nextSample {
+		return
+	}
+	s.recordSample(s.Snapshot())
+}
+
+func (s *System) recordSample(sample telemetry.Sample) {
+	s.sink.Record(sample)
+	s.lastSample = sample.Demand
+	s.haveSample = true
+	s.nextSample = telemetry.NextBoundary(sample.Demand, s.sampleEvery)
+}
+
+// FlushTelemetry records a final sample for the partial tail interval
+// if demand advanced past the last recorded sample (or none was
+// recorded yet). No-op without a sink.
+func (s *System) FlushTelemetry() {
+	if s.sink == nil {
+		return
+	}
+	d := s.Counters().Demand()
+	if s.haveSample && d == s.lastSample {
+		return
+	}
+	s.recordSample(s.Snapshot())
+}
 
 // nvramPattern maps the demand pattern onto the pattern the NVRAM
 // devices observe. Behind the 2LM miss handler every NVRAM request is
@@ -794,6 +897,13 @@ func (s *System) Sync(label string, computeSeconds float64) perfcounter.Sample {
 	s.lastDMA = s.dmaBytes
 	s.lastDNV = s.dmaNV
 	s.instr = 0
+	if s.sink != nil {
+		// Interval boundaries are always worth a sample: record one
+		// carrying the interval label, regardless of the demand clock.
+		snap := s.Snapshot()
+		snap.Label = label
+		s.recordSample(snap)
+	}
 	return sample
 }
 
@@ -842,6 +952,12 @@ func (s *System) ResetStats() {
 	s.lastDMA = 0
 	s.lastDNV = 0
 	s.series = perfcounter.Series{}
+	if s.sink != nil {
+		// The demand clock rewound to zero; restart the sampling phase.
+		s.haveSample = false
+		s.lastSample = 0
+		s.nextSample = telemetry.NextBoundary(0, s.sampleEvery)
+	}
 }
 
 // String summarizes the system configuration.

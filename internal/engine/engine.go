@@ -40,6 +40,7 @@ import (
 	"twolm/internal/imc"
 	"twolm/internal/mem"
 	"twolm/internal/nvram"
+	"twolm/internal/telemetry"
 )
 
 // ShardConfig assembles a Sharded controller.
@@ -57,6 +58,16 @@ type ShardConfig struct {
 
 // Sharded is an N-channel memory controller: N independent
 // imc.Controllers over a line-interleaved address split.
+//
+// # Concurrency contract
+//
+// Replay and ReplayParallel own all channel state for their full
+// duration. Counters, ChannelCounters, Snapshot, ResetCounters and
+// FlushAll take the same lock, so calling them mid-run is safe: the
+// call blocks until the in-flight replay completes and then observes
+// the post-replay state. (Before this guard existed, a mid-run
+// Counters call raced with the replay workers; the regression test
+// TestCountersDuringReplayParallel pins the fix under -race.)
 type Sharded struct {
 	shards []*imc.Controller
 	n      uint64
@@ -64,6 +75,19 @@ type Sharded struct {
 	// route runs once per replayed op, so the divider matters the same
 	// way it does in the per-line demand pipeline.
 	nDiv fastdiv.Divisor
+
+	// mu serializes replays against counter observation — see the
+	// concurrency contract above.
+	mu sync.Mutex
+
+	// Telemetry: merged-counter samples recorded at replay chunk
+	// barriers, clocked by demand lines so a sharded series is
+	// byte-identical to a serial controller's over the same op stream.
+	sink        telemetry.Sink
+	sampleEvery uint64
+	nextSample  uint64
+	lastSample  uint64
+	haveSample  bool
 }
 
 // NewSharded builds a sharded controller. The per-channel DRAM slice
@@ -97,7 +121,7 @@ func NewSharded(cfg ShardConfig) (*Sharded, error) {
 		if err != nil {
 			return nil, fmt.Errorf("engine: channel %d: %w", i, err)
 		}
-		ctrl, err := imc.NewWithPolicy(d, nv, cfg.Policy)
+		ctrl, err := imc.New(d, nv, imc.WithPolicy(cfg.Policy))
 		if err != nil {
 			return nil, fmt.Errorf("engine: channel %d: %w", i, err)
 		}
@@ -129,12 +153,16 @@ func (s *Sharded) route(addr uint64) (ctrl *imc.Controller, local uint64) {
 
 // LLCRead services a demand read through the owning channel.
 func (s *Sharded) LLCRead(addr uint64) cache.LookupResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	ctrl, local := s.route(addr)
 	return ctrl.LLCRead(local)
 }
 
 // LLCWrite services an LLC writeback through the owning channel.
 func (s *Sharded) LLCWrite(addr uint64) (cache.LookupResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	ctrl, local := s.route(addr)
 	return ctrl.LLCWrite(local)
 }
@@ -142,8 +170,15 @@ func (s *Sharded) LLCWrite(addr uint64) (cache.LookupResult, bool) {
 // Counters returns the counters of all channels merged field-wise via
 // imc.Counters.Add. Add is commutative and associative, so the merge is
 // independent of channel order and of the interleaving the scheduler
-// chose during a parallel replay.
+// chose during a parallel replay. Safe to call during a replay: it
+// blocks until the replay completes (see the concurrency contract).
 func (s *Sharded) Counters() imc.Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.countersLocked()
+}
+
+func (s *Sharded) countersLocked() imc.Counters {
 	var total imc.Counters
 	for _, sh := range s.shards {
 		total = total.Add(sh.Counters())
@@ -152,8 +187,11 @@ func (s *Sharded) Counters() imc.Counters {
 }
 
 // ChannelCounters returns a per-channel counter snapshot, for balance
-// inspection.
+// inspection. Safe to call during a replay: it blocks until the replay
+// completes.
 func (s *Sharded) ChannelCounters() []imc.Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]imc.Counters, len(s.shards))
 	for i, sh := range s.shards {
 		out[i] = sh.Counters()
@@ -164,16 +202,117 @@ func (s *Sharded) ChannelCounters() []imc.Counters {
 // ResetCounters zeroes every channel's counters (and, as on the
 // single-controller path, the backing module counters).
 func (s *Sharded) ResetCounters() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, sh := range s.shards {
 		sh.ResetCounters()
+	}
+	if s.sink != nil {
+		// The demand clock rewound to zero; restart the sampling phase.
+		s.haveSample = false
+		s.lastSample = 0
+		s.nextSample = telemetry.NextBoundary(0, s.sampleEvery)
 	}
 }
 
 // FlushAll flushes every channel's DRAM cache.
 func (s *Sharded) FlushAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, sh := range s.shards {
 		sh.FlushAll()
 	}
+}
+
+// SetTelemetry attaches (or, with a nil sink, detaches) a telemetry
+// sink sampled every `every` demand lines at replay chunk barriers.
+// The recorded series uses the same demand-boundary rule as the serial
+// controller hook, so for the same op stream the two series are
+// byte-identical.
+func (s *Sharded) SetTelemetry(sink telemetry.Sink, every uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sink = sink
+	s.sampleEvery = every
+	s.haveSample = false
+	s.lastSample = 0
+	if sink != nil {
+		s.nextSample = telemetry.NextBoundary(s.countersLocked().Demand(), every)
+	}
+}
+
+// Snapshot implements telemetry.Source: the merged channel counters,
+// with per-channel CAS slices concatenated in channel order. Because
+// each shard owns a single-channel DRAM module and shard i serves
+// global channel i, the concatenation is element-identical to a serial
+// controller's per-channel counters over the same stream. Media
+// counters are absent, as on the serial controller (see
+// imc.Controller.Snapshot). Safe to call during a replay: it blocks
+// until the replay completes.
+func (s *Sharded) Snapshot() telemetry.Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+func (s *Sharded) snapshotLocked() telemetry.Sample {
+	ctr := s.countersLocked()
+	sample := telemetry.Sample{
+		Demand:       ctr.Demand(),
+		LLCRead:      ctr.LLCRead,
+		LLCWrite:     ctr.LLCWrite,
+		DRAMRead:     ctr.DRAMRead,
+		DRAMWrite:    ctr.DRAMWrite,
+		NVRAMRead:    ctr.NVRAMRead,
+		NVRAMWrite:   ctr.NVRAMWrite,
+		TagHit:       ctr.TagHit,
+		TagMissClean: ctr.TagMissClean,
+		TagMissDirty: ctr.TagMissDirty,
+		DDO:          ctr.DDO,
+	}
+	sample.ChannelReads = make([]uint64, 0, len(s.shards))
+	sample.ChannelWrites = make([]uint64, 0, len(s.shards))
+	for _, sh := range s.shards {
+		for _, ch := range sh.DRAM.ChannelCounters() {
+			sample.ChannelReads = append(sample.ChannelReads, ch.CASReads)
+			sample.ChannelWrites = append(sample.ChannelWrites, ch.CASWrites)
+		}
+	}
+	return sample
+}
+
+// recordLocked records a sample and advances the boundary.
+func (s *Sharded) recordLocked(demand uint64) {
+	s.sink.Record(s.snapshotLocked())
+	s.lastSample = demand
+	s.haveSample = true
+	s.nextSample = telemetry.NextBoundary(demand, s.sampleEvery)
+}
+
+// maybeSampleLocked records a sample if the demand clock crossed the
+// sampling boundary.
+func (s *Sharded) maybeSampleLocked() {
+	d := s.countersLocked().Demand()
+	if d < s.nextSample {
+		return
+	}
+	s.recordLocked(d)
+}
+
+// FlushTelemetry records a final sample for the partial tail interval
+// if demand advanced past the last recorded sample (or none was
+// recorded yet). No-op without a sink.
+func (s *Sharded) FlushTelemetry() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sink == nil {
+		return
+	}
+	d := s.countersLocked().Demand()
+	if s.haveSample && d == s.lastSample {
+		return
+	}
+	s.recordLocked(d)
 }
 
 // Op is one LLC-level request: a demand read or a writeback.
@@ -183,13 +322,42 @@ type Op struct {
 }
 
 // Replay drives the ops through the sharded controller in order on the
-// calling goroutine.
+// calling goroutine. It holds the replay lock for its full duration.
 func (s *Sharded) Replay(ops []Op) {
-	for _, op := range ops {
-		if op.Write {
-			s.LLCWrite(op.Addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.replayChunked(ops, 1)
+}
+
+// replayChunked splits ops into chunks ending exactly at telemetry
+// sampling boundaries and replays each chunk (in parallel when workers
+// allow), sampling at every chunk barrier. Each op is one demand line,
+// so the chunk cut where cumulative demand reaches the next boundary
+// is computable up front; with no sink the whole stream is one chunk
+// and the only added cost is one branch.
+func (s *Sharded) replayChunked(ops []Op, workers int) {
+	for len(ops) > 0 {
+		chunk := ops
+		if s.sink != nil {
+			if d := s.countersLocked().Demand(); s.nextSample > d && s.nextSample-d < uint64(len(ops)) {
+				chunk = ops[:s.nextSample-d]
+			}
+		}
+		ops = ops[len(chunk):]
+		if workers > 1 {
+			s.replayParallelLocked(chunk, workers)
 		} else {
-			s.LLCRead(op.Addr)
+			for _, op := range chunk {
+				ctrl, local := s.route(op.Addr)
+				if op.Write {
+					ctrl.LLCWrite(local)
+				} else {
+					ctrl.LLCRead(local)
+				}
+			}
+		}
+		if s.sink != nil {
+			s.maybeSampleLocked()
 		}
 	}
 }
@@ -216,7 +384,11 @@ func (s *Sharded) partition(ops []Op) [][]Op {
 // ReplayParallel partitions ops by channel and drives the channels
 // concurrently on up to workers goroutines. Each channel is owned by
 // exactly one goroutine, so no channel state is shared; the merged
-// counters equal those of a serial Replay of the same ops.
+// counters equal those of a serial Replay of the same ops. It holds
+// the replay lock for its full duration; with a telemetry sink the
+// stream is replayed in boundary-aligned chunks with a barrier sample
+// after each, which keeps the recorded series identical to a serial
+// replay's.
 func (s *Sharded) ReplayParallel(ops []Op, workers int) {
 	if workers < 1 {
 		workers = 1
@@ -224,13 +396,14 @@ func (s *Sharded) ReplayParallel(ops []Op, workers int) {
 	if workers > len(s.shards) {
 		workers = len(s.shards)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.replayChunked(ops, workers)
+}
+
+// replayParallelLocked fans one chunk out over the channel partitions.
+func (s *Sharded) replayParallelLocked(ops []Op, workers int) {
 	parts := s.partition(ops)
-	if workers == 1 {
-		for ch, part := range parts {
-			s.replayLocal(ch, part)
-		}
-		return
-	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)

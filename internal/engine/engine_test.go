@@ -41,7 +41,7 @@ func newTestSerial(t *testing.T, policy imc.Policy) *imc.Controller {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctrl, err := imc.NewWithPolicy(d, nv, policy)
+	ctrl, err := imc.New(d, nv, imc.WithPolicy(policy))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,7 @@ import (
 	"twolm/internal/nvram"
 	"twolm/internal/platform"
 	"twolm/internal/results"
+	"twolm/internal/telemetry"
 )
 
 // MultiChannelConfig parameterizes the sharded-controller experiment.
@@ -30,6 +31,13 @@ type MultiChannelConfig struct {
 	// Workers bounds the goroutines driving the sharded replay
 	// (default: one per channel).
 	Workers int
+	// Telemetry, when non-nil, receives counter samples from the
+	// sharded replay of every scenario, labeled with the scenario
+	// name and sampled every SampleEvery demand lines.
+	Telemetry telemetry.Sink
+	// SampleEvery is the telemetry sampling interval in demand lines
+	// (0 samples at every replay chunk).
+	SampleEvery uint64
 }
 
 // DefaultMultiChannelConfig returns the paper-geometry configuration.
@@ -132,7 +140,11 @@ func MultiChannel(cfg MultiChannelConfig) (*results.Table, error) {
 				serial.LLCRead(op.Addr)
 			}
 		}
+		if cfg.Telemetry != nil {
+			sharded.SetTelemetry(telemetry.WithLabel(cfg.Telemetry, sc.name), cfg.SampleEvery)
+		}
 		sharded.ReplayParallel(ops, cfg.Workers)
+		sharded.FlushTelemetry()
 
 		sctr, mctr := serial.Counters(), sharded.Counters()
 		if sctr != mctr {

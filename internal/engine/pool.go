@@ -49,10 +49,26 @@ type Outcome struct {
 // goroutine. A job panic is converted into that job's Err rather than
 // tearing down the pool.
 func RunJobs(jobs []Job, workers int) []Outcome {
+	return RunJobsObserved(jobs, workers, nil)
+}
+
+// RunJobsObserved is RunJobs with a completion callback: observe (when
+// non-nil) is invoked once per job as it finishes, in completion
+// order, from whichever worker goroutine ran the job. Callbacks must
+// therefore be safe for concurrent use when workers > 1 — the
+// intended consumer is live progress reporting (telemetry gauges),
+// which locks internally. The returned outcomes remain in job order.
+func RunJobsObserved(jobs []Job, workers int, observe func(Outcome)) []Outcome {
 	outs := make([]Outcome, len(jobs))
+	done := func(i int) {
+		if observe != nil {
+			observe(outs[i])
+		}
+	}
 	if workers < 2 {
 		for i := range jobs {
 			outs[i] = runOne(jobs[i])
+			done(i)
 		}
 		return outs
 	}
@@ -69,6 +85,7 @@ func RunJobs(jobs []Job, workers int) []Outcome {
 				// Distinct jobs write distinct slice elements; no
 				// further synchronization is needed.
 				outs[i] = runOne(jobs[i])
+				done(i)
 			}
 		}()
 	}

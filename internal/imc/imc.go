@@ -39,6 +39,7 @@ import (
 	"twolm/internal/dram"
 	"twolm/internal/mem"
 	"twolm/internal/nvram"
+	"twolm/internal/telemetry"
 )
 
 // Counters are the uncore performance-counter events the controller
@@ -185,6 +186,17 @@ type Controller struct {
 	sets uint64
 	nch  int
 
+	// Telemetry: an optional sink sampled at demand-line boundaries.
+	// The hooks live only at the batched range entry points, behind a
+	// nil check, so the disabled cost is one branch per range. The
+	// boundary arithmetic lives in telemetry.NextBoundary — this
+	// package's hot paths stay division-free (hotdiv).
+	sink        telemetry.Sink
+	sampleEvery uint64
+	nextSample  uint64
+	lastSample  uint64 // demand at the last recorded sample
+	haveSample  bool
+
 	// Per-stream locator memos. LLC demand reads and LLC writebacks
 	// each tend to sweep consecutive lines (the writeback stream is the
 	// eviction shadow of the demand stream, trailing it by the on-chip
@@ -227,35 +239,146 @@ func (c *Controller) locate(m *streamLocator, addr uint64) (set uint64, tag uint
 	return set, tag, chIdx
 }
 
-// New assembles a controller with the hardware policy. The DRAM
-// module's capacity fixes the cache size; NVRAM backs the full address
-// space.
-func New(dramMod *dram.Module, nvramMod *nvram.Module) (*Controller, error) {
-	return NewWithPolicy(dramMod, nvramMod, HardwarePolicy())
+// config collects the optional construction parameters of New.
+type config struct {
+	policy      Policy
+	sink        telemetry.Sink
+	sampleEvery uint64
 }
 
-// NewWithPolicy assembles a controller with an explicit policy. A
-// policy with Ways < 1 is rejected rather than silently clamped to
+// Option configures optional behavior of New.
+type Option func(*config)
+
+// WithPolicy overrides the hardware allocation policy, for the
+// ablation experiments.
+func WithPolicy(p Policy) Option {
+	return func(c *config) { c.policy = p }
+}
+
+// WithTelemetry attaches a telemetry sink sampled every `every` demand
+// lines at range boundaries (every == 0 samples at each range). A nil
+// sink leaves telemetry disabled.
+func WithTelemetry(sink telemetry.Sink, every uint64) Option {
+	return func(c *config) {
+		c.sink = sink
+		c.sampleEvery = every
+	}
+}
+
+// New assembles a controller over the given DRAM and NVRAM modules,
+// with the Cascade Lake hardware policy unless overridden by options.
+// The DRAM module's capacity fixes the cache size; NVRAM backs the
+// full address space.
+//
+// A policy with Ways < 1 is rejected rather than silently clamped to
 // direct mapped: an ablation config with a typo'd associativity must
 // fail loudly, not run the wrong experiment. Start from HardwarePolicy
 // and override fields to get the hardware default of 1.
-func NewWithPolicy(dramMod *dram.Module, nvramMod *nvram.Module, policy Policy) (*Controller, error) {
-	if policy.Ways < 1 {
-		return nil, fmt.Errorf("imc: policy ways %d must be >= 1 (start from HardwarePolicy to get the hardware default)", policy.Ways)
+func New(dramMod *dram.Module, nvramMod *nvram.Module, opts ...Option) (*Controller, error) {
+	cfg := config{policy: HardwarePolicy()}
+	for _, opt := range opts {
+		opt(&cfg)
 	}
-	dc, err := cache.NewAssoc(dramMod.Capacity(), policy.Ways)
+	if cfg.policy.Ways < 1 {
+		return nil, fmt.Errorf("imc: policy ways %d must be >= 1 (start from HardwarePolicy to get the hardware default)", cfg.policy.Ways)
+	}
+	dc, err := cache.NewAssoc(dramMod.Capacity(), cfg.policy.Ways)
 	if err != nil {
 		return nil, fmt.Errorf("imc: %w", err)
 	}
-	return &Controller{
+	c := &Controller{
 		Cache:      dc,
 		DRAM:       dramMod,
 		NVRAM:      nvramMod,
-		DisableDDO: policy.DisableDDO,
-		policy:     policy,
+		DisableDDO: cfg.policy.DisableDDO,
+		policy:     cfg.policy,
 		sets:       dc.Sets(),
 		nch:        dramMod.Channels(),
-	}, nil
+	}
+	c.SetTelemetry(cfg.sink, cfg.sampleEvery)
+	return c, nil
+}
+
+// NewWithPolicy assembles a controller with an explicit policy.
+//
+// Deprecated: use New(dramMod, nvramMod, WithPolicy(policy)).
+func NewWithPolicy(dramMod *dram.Module, nvramMod *nvram.Module, policy Policy) (*Controller, error) {
+	return New(dramMod, nvramMod, WithPolicy(policy))
+}
+
+// SetTelemetry attaches (or, with a nil sink, detaches) a telemetry
+// sink sampled every `every` demand lines. The next boundary is
+// computed from the current counters, so attaching mid-run starts a
+// fresh sampling phase.
+func (c *Controller) SetTelemetry(sink telemetry.Sink, every uint64) {
+	c.sink = sink
+	c.sampleEvery = every
+	c.haveSample = false
+	c.lastSample = 0
+	if sink != nil {
+		c.nextSample = telemetry.NextBoundary(c.counters.Demand(), every)
+	}
+}
+
+// Snapshot implements telemetry.Source: the controller counters plus
+// per-channel DRAM CAS counts. NVRAM media counters are deliberately
+// absent — media merging depends on how the address stream is
+// partitioned over combining buffers, which serial and sharded
+// executions do differently; use nvram.Module.Snapshot for media.
+func (c *Controller) Snapshot() telemetry.Sample {
+	ctr := c.counters
+	s := telemetry.Sample{
+		Demand:       ctr.Demand(),
+		LLCRead:      ctr.LLCRead,
+		LLCWrite:     ctr.LLCWrite,
+		DRAMRead:     ctr.DRAMRead,
+		DRAMWrite:    ctr.DRAMWrite,
+		NVRAMRead:    ctr.NVRAMRead,
+		NVRAMWrite:   ctr.NVRAMWrite,
+		TagHit:       ctr.TagHit,
+		TagMissClean: ctr.TagMissClean,
+		TagMissDirty: ctr.TagMissDirty,
+		DDO:          ctr.DDO,
+	}
+	chs := c.DRAM.ChannelCounters()
+	s.ChannelReads = make([]uint64, len(chs))
+	s.ChannelWrites = make([]uint64, len(chs))
+	for i, ch := range chs {
+		s.ChannelReads[i] = ch.CASReads
+		s.ChannelWrites[i] = ch.CASWrites
+	}
+	return s
+}
+
+// maybeSample records a sample if the demand clock crossed the next
+// sampling boundary. Callers have already checked sink != nil.
+func (c *Controller) maybeSample() {
+	d := c.counters.Demand()
+	if d < c.nextSample {
+		return
+	}
+	c.recordSample(d)
+}
+
+func (c *Controller) recordSample(d uint64) {
+	c.sink.Record(c.Snapshot())
+	c.lastSample = d
+	c.haveSample = true
+	c.nextSample = telemetry.NextBoundary(d, c.sampleEvery)
+}
+
+// FlushTelemetry records a final sample for the partial tail interval
+// if demand advanced past the last recorded sample (or none was
+// recorded yet). No-op without a sink.
+func (c *Controller) FlushTelemetry() {
+	if c.sink == nil {
+		return
+	}
+	d := c.counters.Demand()
+	if c.haveSample && d == c.lastSample {
+		return
+	}
+	c.recordSample(d)
 }
 
 // Policy returns the controller's configured policy.
@@ -275,6 +398,12 @@ func (c *Controller) ResetCounters() {
 	c.counters = Counters{}
 	c.DRAM.Reset()
 	c.NVRAM.Reset()
+	if c.sink != nil {
+		// The demand clock rewound to zero; restart the sampling phase.
+		c.haveSample = false
+		c.lastSample = 0
+		c.nextSample = telemetry.NextBoundary(0, c.sampleEvery)
+	}
 }
 
 // countMiss records the miss classification into ctr and writes back a
@@ -452,6 +581,9 @@ func (c *Controller) LLCReadRange(addr uint64, n uint64) {
 		}
 	}
 	c.counters = c.counters.Add(d)
+	if c.sink != nil {
+		c.maybeSample()
+	}
 }
 
 // LLCWriteRange services n consecutive line writebacks starting at the
@@ -534,6 +666,9 @@ func (c *Controller) LLCWriteRange(addr uint64, n uint64) {
 		}
 	}
 	c.counters = c.counters.Add(d)
+	if c.sink != nil {
+		c.maybeSample()
+	}
 }
 
 // FlushAll writes every dirty line back to NVRAM and invalidates the

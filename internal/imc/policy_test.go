@@ -20,7 +20,7 @@ func newPolicyController(t *testing.T, cacheCapacity uint64, p Policy) *Controll
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := NewWithPolicy(d, n, p)
+	c, err := New(d, n, WithPolicy(p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestInvalidWaysRejected(t *testing.T) {
 	for _, ways := range []int{0, -1, -8} {
 		p := HardwarePolicy()
 		p.Ways = ways
-		if c, err := NewWithPolicy(d, n, p); err == nil {
+		if c, err := New(d, n, WithPolicy(p)); err == nil {
 			t.Errorf("Ways=%d: NewWithPolicy returned a %d-way controller, want error", ways, c.Cache.Ways())
 		}
 	}

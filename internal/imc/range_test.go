@@ -22,7 +22,7 @@ func newRangePair(t *testing.T, policy Policy) (perLine, batched *Controller) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c, err := NewWithPolicy(d, n, policy)
+		c, err := New(d, n, WithPolicy(policy))
 		if err != nil {
 			t.Fatal(err)
 		}

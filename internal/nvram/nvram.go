@@ -19,6 +19,7 @@ import (
 
 	"twolm/internal/fastdiv"
 	"twolm/internal/mem"
+	"twolm/internal/telemetry"
 )
 
 // MediaBlock is the Optane media access granularity in bytes.
@@ -253,6 +254,21 @@ func (m *Module) WriteAmplification() float64 {
 		return 1
 	}
 	return float64(media*MediaBlock) / float64(iface*mem.Line)
+}
+
+// Snapshot implements telemetry.Source with the module's aggregate
+// interface and media counters. This is the one telemetry source that
+// carries media-block counts: merging depends on how the address
+// stream is partitioned over the combining buffers, so media counters
+// are meaningful per module but are excluded from the controller- and
+// engine-level samples compared across serial and sharded runs.
+func (m *Module) Snapshot() telemetry.Sample {
+	return telemetry.Sample{
+		NVRAMRead:   m.TotalReads(),
+		NVRAMWrite:  m.TotalWrites(),
+		MediaReads:  m.TotalMediaReads(),
+		MediaWrites: m.TotalMediaWrites(),
+	}
 }
 
 // Reset zeroes all counters and combining state. The interleave memos

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"twolm/internal/telemetry"
 )
 
 // Table is a simple column-oriented result table.
@@ -98,29 +100,13 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
-// WriteCSV emits the table as CSV (headers + rows). Cells containing
-// commas or quotes are quoted.
+// WriteCSV emits the table as CSV (headers + rows), delegating to the
+// repository's one CSV convention in internal/telemetry: cells
+// containing commas, quotes or newlines are quoted. The emitted bytes
+// are identical to the quoting logic this method carried before the
+// telemetry package existed.
 func (t *Table) WriteCSV(w io.Writer) error {
-	writeRow := func(cells []string) error {
-		parts := make([]string, len(cells))
-		for i, c := range cells {
-			if strings.ContainsAny(c, ",\"\n") {
-				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
-			}
-			parts[i] = c
-		}
-		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
-		return err
-	}
-	if err := writeRow(t.Headers); err != nil {
-		return err
-	}
-	for _, r := range t.Rows {
-		if err := writeRow(r); err != nil {
-			return err
-		}
-	}
-	return nil
+	return telemetry.WriteCSVRows(w, t.Headers, t.Rows)
 }
 
 // Bar is one bar of a bar chart.

@@ -1,0 +1,224 @@
+// The Prom sink: Prometheus text-exposition (version 0.0.4) export of
+// the latest sample per source, plus free-form gauges for run
+// progress. It is the live-inspection endpoint for long runs —
+// cmd/repro -metrics-addr wires it behind /metrics — and the one
+// telemetry sink that is internally locked, because HTTP scrapes are
+// concurrent with the simulation by nature.
+//
+// Rendering is deterministic: sources and gauges are emitted in
+// sorted order (the golden-file test pins the exact bytes), so the
+// endpoint obeys the same byte-identical-artifact contract as every
+// other serializer in the repository.
+
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// promNamespace prefixes every exported metric name.
+const promNamespace = "twolm"
+
+// DefaultSourceLabel is the source label used for samples recorded
+// without a Label.
+const DefaultSourceLabel = "sim"
+
+// gauge is one free-form exported value.
+type gauge struct {
+	help  string
+	value float64
+}
+
+// Prom is a Sink that retains the latest sample per source label and
+// serves the whole set in Prometheus text exposition format. The
+// zero value is not usable; construct with NewProm.
+type Prom struct {
+	mu     sync.Mutex
+	latest map[string]Sample
+	gauges map[string]gauge
+}
+
+// NewProm returns an empty Prometheus exporter.
+func NewProm() *Prom {
+	return &Prom{latest: map[string]Sample{}, gauges: map[string]gauge{}}
+}
+
+// Record implements Sink: the sample replaces the previous one for
+// its source label (empty labels map to DefaultSourceLabel).
+func (p *Prom) Record(s Sample) {
+	key := s.Label
+	if key == "" {
+		key = DefaultSourceLabel
+	}
+	p.mu.Lock()
+	p.latest[key] = s
+	p.mu.Unlock()
+}
+
+// SetGauge publishes one named gauge (for example run progress:
+// completed experiment jobs). The name is used verbatim, so callers
+// should follow Prometheus conventions (snake_case, unit suffix).
+func (p *Prom) SetGauge(name, help string, v float64) {
+	p.mu.Lock()
+	p.gauges[name] = gauge{help: help, value: v}
+	p.mu.Unlock()
+}
+
+// AddGauge adds delta to a named gauge, creating it at delta if new —
+// the concurrent-increment form used by job-completion callbacks.
+func (p *Prom) AddGauge(name, help string, delta float64) {
+	p.mu.Lock()
+	g := p.gauges[name]
+	g.help = help
+	g.value += delta
+	p.gauges[name] = g
+	p.mu.Unlock()
+}
+
+// ServeHTTP implements http.Handler with the text exposition format.
+func (p *Prom) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p.Render(w)
+}
+
+// counterMetric describes one exported counter derived from a Sample.
+type counterMetric struct {
+	name string
+	help string
+	get  func(Sample) uint64
+}
+
+// counterMetrics is the fixed export schema, in output order.
+var counterMetrics = []counterMetric{
+	{"llc_read_lines_total", "Demand reads from the LLC (loads + RFOs), in 64 B lines.", func(s Sample) uint64 { return s.LLCRead }},
+	{"llc_write_lines_total", "Writebacks / nontemporal stores from the LLC, in 64 B lines.", func(s Sample) uint64 { return s.LLCWrite }},
+	{"dram_read_lines_total", "DRAM CAS reads, in 64 B lines.", func(s Sample) uint64 { return s.DRAMRead }},
+	{"dram_write_lines_total", "DRAM CAS writes, in 64 B lines.", func(s Sample) uint64 { return s.DRAMWrite }},
+	{"nvram_read_lines_total", "NVRAM read requests, in 64 B lines.", func(s Sample) uint64 { return s.NVRAMRead }},
+	{"nvram_write_lines_total", "NVRAM write requests, in 64 B lines.", func(s Sample) uint64 { return s.NVRAMWrite }},
+	{"tag_hit_total", "2LM DRAM-cache tag hits.", func(s Sample) uint64 { return s.TagHit }},
+	{"tag_miss_clean_total", "2LM tag misses with a clean victim.", func(s Sample) uint64 { return s.TagMissClean }},
+	{"tag_miss_dirty_total", "2LM tag misses with a dirty victim.", func(s Sample) uint64 { return s.TagMissDirty }},
+	{"ddo_total", "Writes forwarded via the Dirty Data Optimization.", func(s Sample) uint64 { return s.DDO }},
+	{"nvram_media_read_blocks_total", "NVRAM media reads, in 256 B media blocks.", func(s Sample) uint64 { return s.MediaReads }},
+	{"nvram_media_write_blocks_total", "NVRAM media writes, in 256 B media blocks.", func(s Sample) uint64 { return s.MediaWrites }},
+}
+
+// Render renders the full exposition deterministically.
+func (p *Prom) Render(w io.Writer) error {
+	p.mu.Lock()
+	labels := make([]string, 0, len(p.latest))
+	for l := range p.latest {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	samples := make([]Sample, len(labels))
+	for i, l := range labels {
+		samples[i] = p.latest[l]
+	}
+	names := make([]string, 0, len(p.gauges))
+	for n := range p.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	gauges := make([]gauge, len(names))
+	for i, n := range names {
+		gauges[i] = p.gauges[n]
+	}
+	p.mu.Unlock()
+
+	for _, m := range counterMetrics {
+		full := promNamespace + "_" + m.name
+		if err := writeHeader(w, full, m.help, "counter"); err != nil {
+			return err
+		}
+		for i, l := range labels {
+			if _, err := fmt.Fprintf(w, "%s{source=%q} %d\n", full, escapeLabel(l), m.get(samples[i])); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Simulated clock and the demand sample clock, as gauges: they
+	// describe the latest sample, not a monotonic process counter.
+	if err := writeHeader(w, promNamespace+"_sim_clock_seconds", "Simulated elapsed time of the latest sample.", "gauge"); err != nil {
+		return err
+	}
+	for i, l := range labels {
+		if _, err := fmt.Fprintf(w, "%s_sim_clock_seconds{source=%q} %s\n",
+			promNamespace, escapeLabel(l), formatFloat(samples[i].Clock)); err != nil {
+			return err
+		}
+	}
+	if err := writeHeader(w, promNamespace+"_demand_lines", "Demand-line sample clock of the latest sample.", "gauge"); err != nil {
+		return err
+	}
+	for i, l := range labels {
+		if _, err := fmt.Fprintf(w, "%s_demand_lines{source=%q} %d\n",
+			promNamespace, escapeLabel(l), samples[i].Demand); err != nil {
+			return err
+		}
+	}
+
+	// Per-channel CAS counters, for sources that expose them.
+	if err := writeHeader(w, promNamespace+"_dram_channel_cas_total", "Per-channel DRAM CAS transactions, in 64 B lines.", "counter"); err != nil {
+		return err
+	}
+	for i, l := range labels {
+		s := samples[i]
+		for ch, v := range s.ChannelReads {
+			if _, err := fmt.Fprintf(w, "%s_dram_channel_cas_total{source=%q,channel=\"%d\",op=\"read\"} %d\n",
+				promNamespace, escapeLabel(l), ch, v); err != nil {
+				return err
+			}
+		}
+		for ch, v := range s.ChannelWrites {
+			if _, err := fmt.Fprintf(w, "%s_dram_channel_cas_total{source=%q,channel=\"%d\",op=\"write\"} %d\n",
+				promNamespace, escapeLabel(l), ch, v); err != nil {
+				return err
+			}
+		}
+	}
+
+	for i, n := range names {
+		full := promNamespace + "_" + n
+		if err := writeHeader(w, full, gauges[i].help, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", full, formatFloat(gauges[i].value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHeader emits the HELP/TYPE preamble for one metric.
+func writeHeader(w io.Writer, name, help, typ string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+// escapeLabel escapes a label value per the exposition format
+// (backslash, quote, newline).
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatFloat renders a float the way Prometheus clients expect
+// (shortest round-trip representation).
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

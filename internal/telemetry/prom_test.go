@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func demoProm() *Prom {
+	p := NewProm()
+	s1 := sampleAt(1000)
+	s1.Clock = 0.25
+	s1.ChannelReads = []uint64{500, 600}
+	s1.ChannelWrites = []uint64{100, 120}
+	p.Record(s1) // unlabeled → DefaultSourceLabel
+	s2 := sampleAt(4000)
+	s2.Label = "throughput"
+	s2.MediaReads = 40
+	s2.MediaWrites = 12
+	p.Record(s2)
+	p.SetGauge("jobs_total", "Experiment jobs in the run.", 9)
+	p.AddGauge("jobs_completed", "Experiment jobs finished so far.", 1)
+	p.AddGauge("jobs_completed", "Experiment jobs finished so far.", 1)
+	return p
+}
+
+func TestPromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoProm().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prom.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file (re-run with -update to accept):\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestPromRenderDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	p := demoProm()
+	if err := p.Render(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Render is not deterministic for the same state")
+	}
+}
+
+func TestPromServeHTTP(t *testing.T) {
+	p := demoProm()
+	rr := httptest.NewRecorder()
+	p.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("unexpected content type %q", ct)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{
+		`twolm_dram_read_lines_total{source="sim"} 2000`,
+		`twolm_dram_read_lines_total{source="throughput"} 8000`,
+		`twolm_sim_clock_seconds{source="sim"} 0.25`,
+		`twolm_dram_channel_cas_total{source="sim",channel="1",op="write"} 120`,
+		`twolm_nvram_media_read_blocks_total{source="throughput"} 40`,
+		`twolm_jobs_completed 2`,
+		`twolm_jobs_total 9`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestPromLatestWins(t *testing.T) {
+	p := NewProm()
+	p.Record(Sample{Demand: 1, DRAMRead: 10})
+	p.Record(Sample{Demand: 2, DRAMRead: 30})
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `twolm_dram_read_lines_total{source="sim"} 30`) {
+		t.Fatalf("latest sample should win:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "} 10\n") && strings.Contains(buf.String(), "dram_read_lines_total{source=\"sim\"} 10") {
+		t.Fatalf("stale sample still exposed:\n%s", buf.String())
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	if got := escapeLabel(`a\b` + "\n"); got != `a\\b\n` {
+		t.Fatalf("escapeLabel = %q", got)
+	}
+}

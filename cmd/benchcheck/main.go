@@ -1,0 +1,160 @@
+// Command benchcheck guards the tracked perf-trajectory baseline.
+//
+// The repository commits BENCH_throughput.json — the measured
+// simulator throughput of the four SimThroughput configurations — so
+// the perf trajectory lives in git rather than in benchmark lore.
+// benchcheck re-measures on the current tree and fails (exit 1) when
+// any configuration regresses more than -tolerance below the
+// committed baseline; CI runs it as the bench-smoke gate.
+//
+//	benchcheck                  # compare against BENCH_throughput.json
+//	benchcheck -tolerance 0.10  # explicit regression budget
+//	benchcheck -update          # re-measure and rewrite the baseline
+//
+// Measurement noise is tamed the way the benchmarks themselves are
+// read: -trials independent measurements per run, comparing the best
+// observed throughput per configuration (the best run is the one with
+// the least scheduler interference, and the simulator is
+// deterministic, so best-of-N converges on the machine's true rate).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"twolm/internal/engine"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_throughput.json", "committed baseline file")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression per configuration")
+	update := flag.Bool("update", false, "re-measure and rewrite the baseline file")
+	trials := flag.Int("trials", 3, "independent measurements; best per configuration is kept")
+	scale := flag.Uint64("scale", 0, "footprint scale divisor (0 = the baseline's default)")
+	passes := flag.Int("passes", 0, "timed passes per measurement (0 = the baseline's default)")
+	flag.Parse()
+
+	if err := run(*baseline, *tolerance, *update, *trials, *scale, *passes, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baseline string, tolerance float64, update bool, trials int, scale uint64, passes int, w io.Writer) error {
+	if tolerance < 0 || tolerance >= 1 {
+		return fmt.Errorf("-tolerance %v must be in [0, 1)", tolerance)
+	}
+	if trials < 1 {
+		return fmt.Errorf("-trials %d must be positive", trials)
+	}
+	cfg := engine.DefaultThroughputConfig()
+	if scale != 0 {
+		cfg.Scale = scale
+	}
+	if passes != 0 {
+		cfg.Passes = passes
+	}
+
+	current, err := measureBest(cfg, trials)
+	if err != nil {
+		return err
+	}
+	if update {
+		f, err := os.Create(baseline)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := current.WriteThroughputJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s (%d configurations, best of %d trials)\n",
+			baseline, len(current.Results), trials)
+		return nil
+	}
+
+	base, err := readReport(baseline)
+	if err != nil {
+		return fmt.Errorf("%w (run benchcheck -update to create the baseline)", err)
+	}
+	regressions, err := compare(w, base, current, tolerance)
+	if err != nil {
+		return err
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d configuration(s) regressed more than %.0f%% below %s",
+			regressions, tolerance*100, baseline)
+	}
+	fmt.Fprintf(w, "ok: all %d configurations within %.0f%% of %s\n",
+		len(base.Results), tolerance*100, baseline)
+	return nil
+}
+
+// measureBest runs the measurement `trials` times and keeps, per
+// configuration, the trial with the highest throughput.
+func measureBest(cfg engine.ThroughputConfig, trials int) (*engine.ThroughputReport, error) {
+	var best *engine.ThroughputReport
+	for i := 0; i < trials; i++ {
+		rep, err := engine.MeasureThroughput(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil {
+			best = rep
+			continue
+		}
+		for j := range rep.Results {
+			if j < len(best.Results) && rep.Results[j].LinesPerSec > best.Results[j].LinesPerSec {
+				best.Results[j] = rep.Results[j]
+			}
+		}
+	}
+	return best, nil
+}
+
+func readReport(path string) (*engine.ThroughputReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep engine.ThroughputReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: baseline has no results", path)
+	}
+	return &rep, nil
+}
+
+// compare prints the per-configuration table and returns how many
+// configurations fell more than tolerance below the baseline. Every
+// baseline configuration must be present in the current measurement.
+func compare(w io.Writer, base, current *engine.ThroughputReport, tolerance float64) (int, error) {
+	byName := map[string]float64{}
+	for _, r := range current.Results {
+		byName[r.Name] = r.LinesPerSec
+	}
+	regressions := 0
+	fmt.Fprintf(w, "%-24s %14s %14s %8s\n", "configuration", "baseline", "current", "ratio")
+	for _, b := range base.Results {
+		cur, ok := byName[b.Name]
+		if !ok {
+			return 0, fmt.Errorf("configuration %q in baseline but not measured", b.Name)
+		}
+		ratio := 0.0
+		if b.LinesPerSec > 0 {
+			ratio = cur / b.LinesPerSec
+		}
+		verdict := ""
+		if cur < b.LinesPerSec*(1-tolerance) {
+			regressions++
+			verdict = "  REGRESSED"
+		}
+		fmt.Fprintf(w, "%-24s %14.0f %14.0f %7.2fx%s\n", b.Name, b.LinesPerSec, cur, ratio, verdict)
+	}
+	return regressions, nil
+}

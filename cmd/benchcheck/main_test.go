@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"twolm/internal/engine"
+)
+
+func report(rates map[string]float64) *engine.ThroughputReport {
+	rep := &engine.ThroughputReport{Benchmark: "SimThroughput"}
+	// Fixed order mirrors MeasureThroughput's deterministic output.
+	for _, name := range []string{
+		"sequential-2LM", "lfsr-random-2LM", "sequential-1LM", "lfsr-random-1LM",
+	} {
+		if lps, ok := rates[name]; ok {
+			rep.Results = append(rep.Results, engine.ThroughputResult{
+				Name: name, LinesPerSec: lps,
+			})
+		}
+	}
+	return rep
+}
+
+// TestCompareWithinTolerance: a run within the regression budget
+// reports zero regressions, including slightly-below-baseline rates.
+func TestCompareWithinTolerance(t *testing.T) {
+	base := report(map[string]float64{
+		"sequential-2LM": 100, "lfsr-random-2LM": 200,
+		"sequential-1LM": 300, "lfsr-random-1LM": 400,
+	})
+	cur := report(map[string]float64{
+		"sequential-2LM": 95, "lfsr-random-2LM": 250,
+		"sequential-1LM": 271, "lfsr-random-1LM": 400,
+	})
+	var buf bytes.Buffer
+	n, err := compare(&buf, base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("compare flagged %d regressions, want 0:\n%s", n, buf.String())
+	}
+}
+
+// TestCompareFlagsRegression: any configuration more than tolerance
+// below baseline is counted and marked in the table.
+func TestCompareFlagsRegression(t *testing.T) {
+	base := report(map[string]float64{"sequential-2LM": 100, "lfsr-random-2LM": 200})
+	cur := report(map[string]float64{"sequential-2LM": 100, "lfsr-random-2LM": 150})
+	var buf bytes.Buffer
+	n, err := compare(&buf, base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("compare flagged %d regressions, want 1:\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Errorf("table missing REGRESSED marker:\n%s", buf.String())
+	}
+}
+
+// TestCompareMissingConfiguration: a baseline configuration absent
+// from the measurement is an error, not a silent pass.
+func TestCompareMissingConfiguration(t *testing.T) {
+	base := report(map[string]float64{"sequential-2LM": 100, "lfsr-random-2LM": 200})
+	cur := report(map[string]float64{"sequential-2LM": 100})
+	var buf bytes.Buffer
+	if _, err := compare(&buf, base, cur, 0.10); err == nil {
+		t.Error("missing configuration not reported")
+	}
+}
+
+// TestRunRejectsBadFlags pins the up-front validation.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("x.json", 1.5, false, 1, 0, 0, &buf); err == nil {
+		t.Error("tolerance 1.5 accepted")
+	}
+	if err := run("x.json", 0.1, false, 0, 0, 0, &buf); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+// TestMeasureAgainstSelf is the end-to-end smoke: a fresh tiny
+// measurement compared against itself passes at any tolerance.
+func TestMeasureAgainstSelf(t *testing.T) {
+	cfg := engine.ThroughputConfig{Scale: 1 << 16, Passes: 1, Seed: 1}
+	rep, err := measureBest(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("measured %d configurations, want 4", len(rep.Results))
+	}
+	var buf bytes.Buffer
+	n, err := compare(&buf, rep, rep, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("self-comparison flagged %d regressions:\n%s", n, buf.String())
+	}
+}

@@ -16,15 +16,22 @@
 //	nvtrace -replay trace.bin -no-ddo         # DDO ablation
 //	nvtrace -replay trace.bin -ways 4         # associativity ablation
 //
-// With -metrics-addr (the shared runcfg flag), a replay additionally
-// serves its live counters in Prometheus exposition format at
-// /metrics, sampled every 64Ki demand lines.
+// nvtrace accepts the full shared flag surface of the suite binaries
+// (internal/runcfg): -scale and -quick size the modeled footprint,
+// -out writes the replay's counter summary and sampled telemetry
+// series as artifacts into the given directory, and -metrics-addr
+// serves live counters in Prometheus exposition format at /metrics,
+// sampled every 64Ki demand lines. -parallel and -channels are
+// accepted for interface uniformity; trace replay is inherently
+// serial (operation order is the whole point), so they only pass
+// validation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"twolm/internal/core"
 	"twolm/internal/imc"
@@ -36,72 +43,122 @@ import (
 	"twolm/internal/trace"
 )
 
-func main() {
-	record := flag.String("record", "", "record a kernel trace to this file")
-	replay := flag.String("replay", "", "replay a trace from this file")
-	op := flag.String("op", "read", "kernel for -record: read, write, rmw")
-	pattern := flag.String("pattern", "seq", "iteration order for -record: seq, rand")
-	nt := flag.Bool("nt", false, "use nontemporal stores for -record")
-	arrayMB := flag.Uint64("array-mb", 384, "array size in MiB for -record")
-	threads := flag.Int("threads", 24, "modeled thread count")
-	scale := flag.Uint64("scale", 1024, "platform footprint scale divisor")
-	mode := flag.String("mode", "2lm", "replay mode: 2lm, 1lm")
-	noDDO := flag.Bool("no-ddo", false, "replay with the Dirty Data Optimization disabled")
-	ways := flag.Int("ways", 1, "replay DRAM-cache associativity")
-	writeAround := flag.Bool("write-around", false, "replay without write-miss allocation")
-	var rc runcfg.Common
-	rc.RegisterMetrics(flag.CommandLine)
-	flag.Parse()
+// quickScale is the footprint divisor -quick selects, matching the
+// other suite binaries' fast sanity pass.
+const quickScale = 8192
 
-	var err error
+// options is the parsed flag surface. Split from main so the parse
+// and validation logic is testable without exec-ing the binary.
+type options struct {
+	rc          runcfg.Common
+	record      string
+	replay      string
+	op          string
+	pattern     string
+	nt          bool
+	arrayMB     uint64
+	threads     int
+	mode        string
+	noDDO       bool
+	ways        int
+	writeAround bool
+}
+
+// parseFlags builds the nvtrace flag set over args (the arguments
+// after the program name) and returns the parsed options.
+func parseFlags(name string, args []string) (*options, error) {
+	o := &options{rc: runcfg.Defaults()}
+	o.rc.Out = "" // artifacts are optional; print-only by default
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	o.rc.Register(fs)
+	fs.StringVar(&o.record, "record", "", "record a kernel trace to this file")
+	fs.StringVar(&o.replay, "replay", "", "replay a trace from this file")
+	fs.StringVar(&o.op, "op", "read", "kernel for -record: read, write, rmw")
+	fs.StringVar(&o.pattern, "pattern", "seq", "iteration order for -record: seq, rand")
+	fs.BoolVar(&o.nt, "nt", false, "use nontemporal stores for -record")
+	fs.Uint64Var(&o.arrayMB, "array-mb", 384, "array size in MiB for -record")
+	fs.IntVar(&o.threads, "threads", 24, "modeled thread count")
+	fs.StringVar(&o.mode, "mode", "2lm", "replay mode: 2lm, 1lm")
+	fs.BoolVar(&o.noDDO, "no-ddo", false, "replay with the Dirty Data Optimization disabled")
+	fs.IntVar(&o.ways, "ways", 1, "replay DRAM-cache associativity")
+	fs.BoolVar(&o.writeAround, "write-around", false, "replay without write-miss allocation")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// scale resolves the effective footprint divisor: -quick overrides
+// -scale with the sanity-pass footprint, as in the other binaries.
+func (o *options) scale() uint64 {
+	if o.rc.Quick {
+		return quickScale
+	}
+	return o.rc.Scale
+}
+
+// run validates the options and dispatches the selected action.
+func (o *options) run() error {
+	if err := o.rc.Validate(); err != nil {
+		return err
+	}
 	switch {
-	case *record != "" && *replay != "":
-		err = fmt.Errorf("choose one of -record or -replay")
-	case *record != "":
-		err = doRecord(*record, *op, *pattern, *nt, *arrayMB, *threads, *scale)
-	case *replay != "":
-		err = doReplay(*replay, *mode, *scale, *threads, *noDDO, *ways, *writeAround, &rc)
-	default:
-		flag.Usage()
+	case o.record != "" && o.replay != "":
+		return fmt.Errorf("choose one of -record or -replay")
+	case o.record != "":
+		return o.doRecord()
+	case o.replay != "":
+		return o.doReplay()
+	}
+	return fmt.Errorf("one of -record or -replay is required")
+}
+
+func main() {
+	o, err := parseFlags("nvtrace", os.Args[1:])
+	if err != nil {
 		os.Exit(2)
 	}
-	if err != nil {
+	if err := o.run(); err != nil {
 		fmt.Fprintln(os.Stderr, "nvtrace:", err)
 		os.Exit(1)
 	}
 }
 
 // newSystem builds the configured platform.
-func newSystem(mode string, scale uint64, threads int, noDDO bool, ways int, writeAround bool) (*core.System, error) {
-	cfg := core.Config{Platform: platform.CascadeLake(1, scale, threads)}
-	switch mode {
+func (o *options) newSystem() (*core.System, error) {
+	cfg := core.Config{Platform: platform.CascadeLake(1, o.scale(), o.threads)}
+	switch o.mode {
 	case "2lm":
 		cfg.Mode = core.Mode2LM
 		policy := imc.HardwarePolicy()
-		policy.DisableDDO = noDDO
-		policy.Ways = ways
-		policy.WriteAllocate = !writeAround
+		policy.DisableDDO = o.noDDO
+		policy.Ways = o.ways
+		policy.WriteAllocate = !o.writeAround
 		cfg.Policy = &policy
 	case "1lm":
 		cfg.Mode = core.Mode1LM
 	default:
-		return nil, fmt.Errorf("unknown mode %q", mode)
+		return nil, fmt.Errorf("unknown mode %q", o.mode)
 	}
 	return core.New(cfg)
 }
 
-func doRecord(path, op, pattern string, nt bool, arrayMB uint64, threads int, scale uint64) error {
-	sys, err := newSystem("2lm", scale, threads, false, 1, false)
+func (o *options) doRecord() error {
+	// Recording always runs the hardware 2LM system; the point of a
+	// trace is to replay the identical stream against variants.
+	rec := *o
+	rec.mode, rec.noDDO, rec.ways, rec.writeAround = "2lm", false, 1, false
+	sys, err := rec.newSystem()
 	if err != nil {
 		return err
 	}
-	region, err := sys.AddressSpace().Alloc(arrayMB * mem.MiB)
+	region, err := sys.AddressSpace().Alloc(o.arrayMB * mem.MiB)
 	if err != nil {
 		return err
 	}
 
-	spec := kernels.Spec{Threads: threads}
-	switch op {
+	spec := kernels.Spec{Threads: o.threads}
+	switch o.op {
 	case "read":
 		spec.Op = kernels.ReadOnly
 	case "write":
@@ -109,21 +166,21 @@ func doRecord(path, op, pattern string, nt bool, arrayMB uint64, threads int, sc
 	case "rmw":
 		spec.Op = kernels.ReadModifyWrite
 	default:
-		return fmt.Errorf("unknown op %q", op)
+		return fmt.Errorf("unknown op %q", o.op)
 	}
-	switch pattern {
+	switch o.pattern {
 	case "seq":
 		spec.Pattern = mem.Sequential
 	case "rand":
 		spec.Pattern = mem.Random
 	default:
-		return fmt.Errorf("unknown pattern %q", pattern)
+		return fmt.Errorf("unknown pattern %q", o.pattern)
 	}
-	if nt {
+	if o.nt {
 		spec.Store = kernels.Nontemporal
 	}
 
-	f, err := os.Create(path)
+	f, err := os.Create(o.record)
 	if err != nil {
 		return err
 	}
@@ -139,31 +196,55 @@ func doRecord(path, op, pattern string, nt bool, arrayMB uint64, threads int, sc
 	if err := w.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("recorded %d operations (%s) to %s\n", w.Ops(), spec.Name(), path)
+	fmt.Printf("recorded %d operations (%s) to %s\n", w.Ops(), spec.Name(), o.record)
 	fmt.Printf("while recording: %s\n", res.Delta)
 	return nil
 }
 
-func doReplay(path, mode string, scale uint64, threads int, noDDO bool, ways int, writeAround bool, rc *runcfg.Common) error {
-	sys, err := newSystem(mode, scale, threads, noDDO, ways, writeAround)
+// replaySummary is the -out artifact schema of a replay run.
+type replaySummary struct {
+	Trace         string  `json:"trace"`
+	Mode          string  `json:"mode"`
+	Scale         uint64  `json:"scale"`
+	Ops           uint64  `json:"ops"`
+	Counters      string  `json:"counters"`
+	Amplification float64 `json:"amplification"`
+	HitRate       float64 `json:"hit_rate"`
+	ModelSeconds  float64 `json:"model_seconds"`
+}
+
+func (o *options) doReplay() error {
+	sys, err := o.newSystem()
 	if err != nil {
 		return err
 	}
-	prom, err := rc.Metrics()
+	prom, err := o.rc.Metrics()
 	if err != nil {
 		return err
+	}
+	// The telemetry sink stack depends on which outputs were asked
+	// for: a Recorder feeds the -out series artifact, the Prom
+	// exporter the live endpoint, both labeled and sampled identically.
+	var series *telemetry.Recorder
+	var sinks []telemetry.Sink
+	if o.rc.Out != "" {
+		series = telemetry.NewRecorder()
+		sinks = append(sinks, series)
 	}
 	if prom != nil {
-		fmt.Printf("serving metrics at http://%s/metrics\n", rc.BoundAddr)
-		sys.SetTelemetry(telemetry.WithLabel(prom, "replay"), 1<<16)
+		fmt.Printf("serving metrics at http://%s/metrics\n", o.rc.BoundAddr)
+		sinks = append(sinks, prom)
 	}
-	f, err := os.Open(path)
+	if len(sinks) > 0 {
+		sys.SetTelemetry(telemetry.WithLabel(telemetry.Tee(sinks...), "replay"), 1<<16)
+	}
+	f, err := os.Open(o.replay)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 
-	sys.SetThreads(threads)
+	sys.SetThreads(o.threads)
 	ops, err := trace.Replay(sys, f)
 	if err != nil {
 		return err
@@ -181,5 +262,47 @@ func doReplay(path, mode string, scale uint64, threads int, noDDO bool, ways int
 	fmt.Printf("amplification: %.2f\n", ctr.Amplification())
 	fmt.Printf("hit rate:      %.3f\n", ctr.HitRate())
 	fmt.Printf("elapsed:       %.6f s (model)\n", sys.Clock())
+
+	if o.rc.Out != "" {
+		if err := o.writeArtifacts(series, ops, ctr, sys.Clock()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeArtifacts emits the replay summary JSON and the sampled
+// telemetry series CSV under the -out directory.
+func (o *options) writeArtifacts(series *telemetry.Recorder, ops uint64, ctr imc.Counters, clock float64) error {
+	if err := os.MkdirAll(o.rc.Out, 0o755); err != nil {
+		return err
+	}
+	sf, err := os.Create(filepath.Join(o.rc.Out, "nvtrace_replay.json"))
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	sum := replaySummary{
+		Trace:         o.replay,
+		Mode:          o.mode,
+		Scale:         o.scale(),
+		Ops:           ops,
+		Counters:      ctr.String(),
+		Amplification: ctr.Amplification(),
+		HitRate:       ctr.HitRate(),
+		ModelSeconds:  clock,
+	}
+	if err := telemetry.EncodeJSON(sf, sum); err != nil {
+		return err
+	}
+	cf, err := os.Create(filepath.Join(o.rc.Out, "nvtrace_replay_series.csv"))
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	if err := series.WriteCSV(cf); err != nil {
+		return err
+	}
+	fmt.Printf("artifacts:     %s\n", o.rc.Out)
 	return nil
 }

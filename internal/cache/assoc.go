@@ -19,10 +19,15 @@ import (
 // replacement. Ways=1 degenerates to a direct-mapped cache and is the
 // configuration matching the real hardware.
 //
+// Like DirectMapped, the tag array is a single flat []uint64 of packed
+// entry words (the ways of a set adjacent), so the Ways==1 hot path is
+// one load per probe and bucketed dispatch sweeps it sequentially. LRU
+// stamps live in a parallel slice that the Ways==1 path never touches.
+//
 // Entries are addressed by opaque handles returned from Probe; a
 // handle stays valid until the next Probe of the same set.
 type Assoc struct {
-	entries  []entry
+	entries  []uint64
 	stamps   []uint64
 	clock    uint64
 	sets     uint64
@@ -45,7 +50,7 @@ func NewAssoc(capacity uint64, ways int) (*Assoc, error) {
 	lines := capacity / mem.Line
 	sets := lines / uint64(ways)
 	return &Assoc{
-		entries:  make([]entry, lines),
+		entries:  make([]uint64, lines),
 		stamps:   make([]uint64, lines),
 		sets:     sets,
 		setsDiv:  fastdiv.New(sets),
@@ -113,13 +118,13 @@ func (c *Assoc) ProbeTag(addr uint64) (handle uint64, tag uint32, res LookupResu
 // ProbeAt is Probe for a (set, tag) pair previously derived from Index.
 func (c *Assoc) ProbeAt(set uint64, tag uint32) (handle uint64, res LookupResult) {
 	if c.ways == 1 {
-		e := &c.entries[set]
+		w := c.entries[set]
 		switch {
-		case e.flags&flagValid == 0:
+		case w&flagValid == 0:
 			return set, MissClean
-		case e.tag == tag:
+		case entryTag(w) == tag:
 			return set, Hit
-		case e.flags&flagDirty != 0:
+		case w&flagDirty != 0:
 			return set, MissDirty
 		default:
 			return set, MissClean
@@ -128,10 +133,10 @@ func (c *Assoc) ProbeAt(set uint64, tag uint32) (handle uint64, res LookupResult
 	base := set * c.ways
 	victim := base
 	victimStamp := ^uint64(0)
-	for w := uint64(0); w < c.ways; w++ {
-		h := base + w
-		e := &c.entries[h]
-		if e.flags&flagValid == 0 {
+	for way := uint64(0); way < c.ways; way++ {
+		h := base + way
+		w := c.entries[h]
+		if w&flagValid == 0 {
 			// Remember the first invalid way as the preferred victim,
 			// but keep scanning for a hit.
 			if victimStamp != 0 {
@@ -139,7 +144,7 @@ func (c *Assoc) ProbeAt(set uint64, tag uint32) (handle uint64, res LookupResult
 			}
 			continue
 		}
-		if e.tag == tag {
+		if entryTag(w) == tag {
 			c.clock++
 			c.stamps[h] = c.clock
 			return h, Hit
@@ -148,11 +153,11 @@ func (c *Assoc) ProbeAt(set uint64, tag uint32) (handle uint64, res LookupResult
 			victim, victimStamp = h, c.stamps[h]
 		}
 	}
-	e := c.entries[victim]
-	if e.flags&flagValid == 0 {
+	w := c.entries[victim]
+	if w&flagValid == 0 {
 		return victim, MissClean
 	}
-	if e.flags&flagDirty != 0 {
+	if w&flagDirty != 0 {
 		return victim, MissDirty
 	}
 	return victim, MissClean
@@ -169,7 +174,7 @@ func (c *Assoc) Install(handle, addr uint64) {
 // InstallTag is Install with the tag already split off the address
 // (typically returned by ProbeTag, saving the re-division).
 func (c *Assoc) InstallTag(handle uint64, tag uint32) {
-	c.entries[handle] = entry{tag: tag, flags: flagValid}
+	c.entries[handle] = packEntry(tag, flagValid)
 	if c.ways == 1 {
 		return
 	}
@@ -179,26 +184,26 @@ func (c *Assoc) InstallTag(handle uint64, tag uint32) {
 
 // VictimAddr reconstructs the address of the line at handle.
 func (c *Assoc) VictimAddr(handle uint64) (addr uint64, ok bool) {
-	e := c.entries[handle]
-	if e.flags&flagValid == 0 {
+	w := c.entries[handle]
+	if w&flagValid == 0 {
 		return 0, false
 	}
 	set := c.waysDiv.Div(handle)
-	return (uint64(e.tag)*c.sets + set) << mem.LineShift, true
+	return (uint64(entryTag(w))*c.sets + set) << mem.LineShift, true
 }
 
 // MarkDirty sets the dirty bit at handle.
-func (c *Assoc) MarkDirty(handle uint64) { c.entries[handle].flags |= flagDirty }
+func (c *Assoc) MarkDirty(handle uint64) { c.entries[handle] |= flagDirty }
 
 // IsDirty reports whether the entry at handle is valid and dirty.
 func (c *Assoc) IsDirty(handle uint64) bool {
-	f := c.entries[handle].flags
-	return f&flagValid != 0 && f&flagDirty != 0
+	w := c.entries[handle]
+	return w&flagValid != 0 && w&flagDirty != 0
 }
 
 // Invalidate drops the entry at handle.
 func (c *Assoc) Invalidate(handle uint64) {
-	c.entries[handle] = entry{}
+	c.entries[handle] = 0
 	c.stamps[handle] = 0
 }
 
@@ -206,23 +211,52 @@ func (c *Assoc) Invalidate(handle uint64) {
 // hierarchy (the Dirty Data Optimization precondition).
 func (c *Assoc) SetLLCOwned(handle uint64, owned bool) {
 	if owned {
-		c.entries[handle].flags |= flagLLCOwned
+		c.entries[handle] |= flagLLCOwned
 	} else {
-		c.entries[handle].flags &^= flagLLCOwned
+		c.entries[handle] &^= flagLLCOwned
 	}
 }
 
 // LLCOwned reports the LLC-owned flag at handle.
 func (c *Assoc) LLCOwned(handle uint64) bool {
-	return c.entries[handle].flags&flagLLCOwned != 0
+	return c.entries[handle]&flagLLCOwned != 0
+}
+
+// Exported packed-entry primitives for the batched controller paths:
+// with the tag array flattened into a single []uint64, the bucketed
+// drain in internal/imc folds probe + install + flag updates into one
+// load and one store per request. Only the Ways==1 layout is exposed —
+// the generic path keeps going through Probe/Install.
+const (
+	// EntryValid, EntryDirty, EntryLLCOwned are the flag bits of a
+	// packed tag word, below EntryTagShift.
+	EntryValid    uint64 = flagValid
+	EntryDirty    uint64 = flagDirty
+	EntryLLCOwned uint64 = flagLLCOwned
+)
+
+// EntryTagOf extracts the tag of a packed tag word.
+func EntryTagOf(w uint64) uint32 { return entryTag(w) }
+
+// PackEntry builds a packed tag word from a tag and flag bits.
+func PackEntry(tag uint32, flags uint64) uint64 { return packEntry(tag, flags) }
+
+// DirectEntries exposes the flat packed tag array when the store is
+// direct mapped (Ways == 1), indexed by set; nil otherwise. Callers may
+// mutate words in place with the Entry* primitives — handle-based and
+// word-based access see the same state.
+func (c *Assoc) DirectEntries() []uint64 {
+	if c.ways != 1 {
+		return nil
+	}
+	return c.entries
 }
 
 // DirtyLines returns the number of valid dirty lines. O(lines).
 func (c *Assoc) DirtyLines() uint64 {
 	var n uint64
-	for i := range c.entries {
-		f := c.entries[i].flags
-		if f&flagValid != 0 && f&flagDirty != 0 {
+	for _, w := range c.entries {
+		if w&flagValid != 0 && w&flagDirty != 0 {
 			n++
 		}
 	}
@@ -232,8 +266,8 @@ func (c *Assoc) DirtyLines() uint64 {
 // ValidLines returns the number of valid lines. O(lines).
 func (c *Assoc) ValidLines() uint64 {
 	var n uint64
-	for i := range c.entries {
-		if c.entries[i].flags&flagValid != 0 {
+	for _, w := range c.entries {
+		if w&flagValid != 0 {
 			n++
 		}
 	}

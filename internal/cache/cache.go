@@ -8,6 +8,12 @@
 // bit used by the IMC's Dirty Data Optimization model. It implements
 // pure metadata bookkeeping; the traffic consequences of lookups and
 // fills are the IMC's business.
+//
+// The metadata array is a single flat []uint64 with one packed word
+// per entry (tag in the high bits, flag bits in the low byte): eight
+// sets per 64 B host cache line, no per-set indirection, so a probe is
+// one load and the batched dispatch path in internal/imc can prefetch
+// a chunk's tag words at full memory concurrency before probing them.
 package cache
 
 import (
@@ -17,20 +23,23 @@ import (
 	"twolm/internal/mem"
 )
 
-// Flag bits of an entry.
+// Flag bits of a packed entry word. The word layout is
+// uint64(tag)<<tagShift | flags; an invalid entry is the zero word.
 const (
-	flagValid uint8 = 1 << iota
+	flagValid uint64 = 1 << iota
 	flagDirty
 	flagLLCOwned
+
+	tagShift = 8
 )
 
-// entry is the per-set metadata: the tag plus state flags. With 64 B
-// sets, a 192 GiB cache has 3 G sets on hardware; scaled simulations
-// keep this array small.
-type entry struct {
-	tag   uint32
-	flags uint8
+// packEntry builds a packed entry word.
+func packEntry(tag uint32, flags uint64) uint64 {
+	return uint64(tag)<<tagShift | flags
 }
+
+// entryTag extracts the tag from a packed word.
+func entryTag(w uint64) uint32 { return uint32(w >> tagShift) }
 
 // LookupResult classifies a tag check.
 type LookupResult uint8
@@ -63,7 +72,7 @@ func (r LookupResult) String() string {
 // DirectMapped is the metadata array of a direct-mapped, 64 B-granular
 // cache over a physical address space.
 type DirectMapped struct {
-	entries  []entry
+	entries  []uint64
 	sets     uint64
 	setsDiv  fastdiv.Divisor
 	capacity uint64
@@ -77,7 +86,7 @@ func New(capacity uint64) (*DirectMapped, error) {
 	}
 	sets := capacity / mem.Line
 	return &DirectMapped{
-		entries:  make([]entry, sets),
+		entries:  make([]uint64, sets),
 		sets:     sets,
 		setsDiv:  fastdiv.New(sets),
 		capacity: capacity,
@@ -111,13 +120,13 @@ func (c *DirectMapped) Lookup(addr uint64) (set uint64, tag uint32, res LookupRe
 // incrementally — the set of line+1 is set+1 mod Sets, carrying into
 // the tag — instead of re-dividing per line.
 func (c *DirectMapped) LookupAt(set uint64, tag uint32) LookupResult {
-	e := c.entries[set]
+	w := c.entries[set]
 	switch {
-	case e.flags&flagValid == 0:
+	case w&flagValid == 0:
 		return MissClean
-	case e.tag == tag:
+	case entryTag(w) == tag:
 		return Hit
-	case e.flags&flagDirty != 0:
+	case w&flagDirty != 0:
 		return MissDirty
 	default:
 		return MissClean
@@ -127,33 +136,33 @@ func (c *DirectMapped) LookupAt(set uint64, tag uint32) LookupResult {
 // VictimAddr reconstructs the physical address of the line currently
 // occupying set; ok is false if the set is invalid.
 func (c *DirectMapped) VictimAddr(set uint64) (addr uint64, ok bool) {
-	e := c.entries[set]
-	if e.flags&flagValid == 0 {
+	w := c.entries[set]
+	if w&flagValid == 0 {
 		return 0, false
 	}
-	return (uint64(e.tag)*c.sets + set) << mem.LineShift, true
+	return (uint64(entryTag(w))*c.sets + set) << mem.LineShift, true
 }
 
 // Insert installs tag into set in the clean, not-LLC-owned state,
 // replacing any previous occupant.
 func (c *DirectMapped) Insert(set uint64, tag uint32) {
-	c.entries[set] = entry{tag: tag, flags: flagValid}
+	c.entries[set] = packEntry(tag, flagValid)
 }
 
 // Invalidate drops the line in set without any writeback.
 func (c *DirectMapped) Invalidate(set uint64) {
-	c.entries[set] = entry{}
+	c.entries[set] = 0
 }
 
 // MarkDirty sets the dirty bit of the line in set.
 func (c *DirectMapped) MarkDirty(set uint64) {
-	c.entries[set].flags |= flagDirty
+	c.entries[set] |= flagDirty
 }
 
 // IsDirty reports whether the line in set is valid and dirty.
 func (c *DirectMapped) IsDirty(set uint64) bool {
-	f := c.entries[set].flags
-	return f&flagValid != 0 && f&flagDirty != 0
+	w := c.entries[set]
+	return w&flagValid != 0 && w&flagDirty != 0
 }
 
 // SetLLCOwned marks the resident line as held (in E/M state) by the
@@ -161,24 +170,30 @@ func (c *DirectMapped) IsDirty(set uint64) bool {
 // Optimization: a writeback of a line the LLC owns needs no tag check.
 func (c *DirectMapped) SetLLCOwned(set uint64, owned bool) {
 	if owned {
-		c.entries[set].flags |= flagLLCOwned
+		c.entries[set] |= flagLLCOwned
 	} else {
-		c.entries[set].flags &^= flagLLCOwned
+		c.entries[set] &^= flagLLCOwned
 	}
 }
 
 // LLCOwned reports whether the resident line is marked as LLC owned.
 func (c *DirectMapped) LLCOwned(set uint64) bool {
-	return c.entries[set].flags&flagLLCOwned != 0
+	return c.entries[set]&flagLLCOwned != 0
 }
+
+// DirectEntries exposes the flat packed tag array, indexed by set.
+// Callers may mutate words in place with the exported Entry*
+// primitives — method-based and word-based access see the same state.
+// The batched LLC filter in internal/core uses this to fold lookup,
+// insert, and dirty-marking into one load and one store per operation.
+func (c *DirectMapped) DirectEntries() []uint64 { return c.entries }
 
 // DirtyLines returns the number of valid dirty lines. O(sets); intended
 // for tests and reports, not hot paths.
 func (c *DirectMapped) DirtyLines() uint64 {
 	var n uint64
-	for i := range c.entries {
-		f := c.entries[i].flags
-		if f&flagValid != 0 && f&flagDirty != 0 {
+	for _, w := range c.entries {
+		if w&flagValid != 0 && w&flagDirty != 0 {
 			n++
 		}
 	}
@@ -188,8 +203,8 @@ func (c *DirectMapped) DirtyLines() uint64 {
 // ValidLines returns the number of valid lines. O(sets).
 func (c *DirectMapped) ValidLines() uint64 {
 	var n uint64
-	for i := range c.entries {
-		if c.entries[i].flags&flagValid != 0 {
+	for _, w := range c.entries {
+		if w&flagValid != 0 {
 			n++
 		}
 	}

@@ -134,6 +134,9 @@ type System struct {
 	// tap observes the demand stream (trace recording).
 	tap func(op TapOp, addr uint64)
 
+	// batch is the reusable bulk-dispatch builder (scatter.go).
+	batch *Batch
+
 	// Telemetry: an optional sink sampled at demand-line boundaries
 	// from the system-level Range entry points (so samples carry the
 	// simulated clock), plus a forced labeled sample at every Sync.

@@ -100,19 +100,39 @@ func SeqPass(sys *core.System, region mem.Region) uint64 {
 
 // RandPass drives one LFSR-random pass over region, touching every
 // line exactly once with alternating loads and stores in pseudo-random
-// order (the paper's KernelBenchmarks.jl iteration style). Returns the
-// number of demand lines simulated.
+// order (the paper's KernelBenchmarks.jl iteration style). The pass
+// goes through the system's batch builder, so the controller services
+// it via chunked in-order dispatch; counters are byte-identical to
+// calling Load/Store per line. Returns the number of demand lines
+// simulated.
 func RandPass(sys *core.System, region mem.Region, seed uint32) (uint64, error) {
 	n := region.Lines()
-	err := lfsr.Sequence(n, seed, func(idx uint64) {
-		addr := region.Base + idx*mem.Line
-		if idx&1 == 0 {
-			sys.Load(addr)
-		} else {
-			sys.Store(addr)
+	b := sys.Batch()
+	st, err := lfsr.NewStream(n, seed)
+	if err != nil {
+		return 0, err
+	}
+	// Indices are consumed through a stack chunk instead of a callback
+	// per index: the stream's skip test and the load/store alternation
+	// are both even coin flips, and the buffer hop turns each from a
+	// mispredicting branch into masked arithmetic.
+	var buf [2048]uint32
+	base := region.Base
+	for {
+		k, err := st.Fill(buf[:])
+		if err != nil {
+			return 0, err
 		}
-	})
-	return n, err
+		if k == 0 {
+			break
+		}
+		for _, v := range buf[:k] {
+			idx := uint64(v)
+			b.LoadOrStore(base+idx*mem.Line, idx)
+		}
+	}
+	b.Flush()
+	return n, nil
 }
 
 // MeasureThroughput measures simulator throughput for sequential and

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"testing"
+
+	"twolm/internal/core"
+)
+
+// TestRandPassZeroAllocs pins the steady-state allocation contract of
+// the random demand path: after one warm-up pass has sized the batch
+// builder's buffers and the controller's dispatch scratch, a full
+// random pass performs zero heap allocations. The CI benchmark run
+// asserts the same with -benchmem; this test catches regressions in
+// the plain test suite.
+func TestRandPassZeroAllocs(t *testing.T) {
+	for _, mode := range []core.Mode{core.Mode2LM, core.Mode1LM} {
+		t.Run(mode.String(), func(t *testing.T) {
+			// A large scale divisor keeps the footprint tiny; the code
+			// path is identical at every scale.
+			sys, region, err := NewThroughputSystem(mode, 1<<18)
+			if err != nil {
+				t.Fatal(err)
+			}
+			SeqPass(sys, region)
+			if _, err := RandPass(sys, region, 0x2B1A); err != nil {
+				t.Fatal(err)
+			}
+			seed := uint32(1)
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := RandPass(sys, region, seed); err != nil {
+					t.Fatal(err)
+				}
+				seed++
+			})
+			if allocs != 0 {
+				t.Errorf("%s: RandPass allocates %.1f objects per pass, want 0", mode, allocs)
+			}
+		})
+	}
+}
+
+// TestSeqPassZeroAllocs pins the same contract for the sequential
+// range path, which shares the controller scratch.
+func TestSeqPassZeroAllocs(t *testing.T) {
+	sys, region, err := NewThroughputSystem(core.Mode2LM, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SeqPass(sys, region)
+	allocs := testing.AllocsPerRun(10, func() { SeqPass(sys, region) })
+	if allocs != 0 {
+		t.Errorf("SeqPass allocates %.1f objects per pass, want 0", allocs)
+	}
+}

@@ -197,6 +197,17 @@ type Controller struct {
 	lastSample  uint64 // demand at the last recorded sample
 	haveSample  bool
 
+	// Batched dispatch scratch (scatter.go), reused across batches so
+	// the steady-state random path allocates nothing.
+	scat scatterState
+
+	// scatShuffle, when non-nil, routes each batch's deferred NVRAM
+	// work through per-(DIMM, direction) queues and permutes the order
+	// the queues are applied in — a test-only hook for the commutation
+	// property test. It receives the queue apply order to permute in
+	// place.
+	scatShuffle func(order []uint32)
+
 	// Per-stream locator memos. LLC demand reads and LLC writebacks
 	// each tend to sweep consecutive lines (the writeback stream is the
 	// eviction shadow of the demand stream, trailing it by the on-chip
@@ -295,6 +306,7 @@ func New(dramMod *dram.Module, nvramMod *nvram.Module, opts ...Option) (*Control
 		sets:       dc.Sets(),
 		nch:        dramMod.Channels(),
 	}
+	c.initScatter()
 	c.SetTelemetry(cfg.sink, cfg.sampleEvery)
 	return c, nil
 }

@@ -23,7 +23,7 @@ func newTestModules(t *testing.T) (*dram.Module, *nvram.Module) {
 }
 
 // TestNewDefaultsToHardwarePolicy: New without options is the Cascade
-// Lake hardware controller, and the deprecated NewWithPolicy shim
+// Lake hardware controller, and an explicit WithPolicy(HardwarePolicy())
 // builds the identical configuration.
 func TestNewDefaultsToHardwarePolicy(t *testing.T) {
 	d, nv := newTestModules(t)
@@ -35,12 +35,12 @@ func TestNewDefaultsToHardwarePolicy(t *testing.T) {
 		t.Errorf("default policy = %+v, want %+v", c.Policy(), HardwarePolicy())
 	}
 	d2, nv2 := newTestModules(t)
-	shim, err := NewWithPolicy(d2, nv2, HardwarePolicy())
+	explicit, err := New(d2, nv2, WithPolicy(HardwarePolicy()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if shim.Policy() != c.Policy() {
-		t.Errorf("NewWithPolicy shim policy = %+v, want %+v", shim.Policy(), c.Policy())
+	if explicit.Policy() != c.Policy() {
+		t.Errorf("explicit hardware policy = %+v, want %+v", explicit.Policy(), c.Policy())
 	}
 }
 

@@ -49,7 +49,7 @@ func TestInvalidWaysRejected(t *testing.T) {
 		p := HardwarePolicy()
 		p.Ways = ways
 		if c, err := New(d, n, WithPolicy(p)); err == nil {
-			t.Errorf("Ways=%d: NewWithPolicy returned a %d-way controller, want error", ways, c.Cache.Ways())
+			t.Errorf("Ways=%d: New returned a %d-way controller, want error", ways, c.Cache.Ways())
 		}
 	}
 }

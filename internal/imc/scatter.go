@@ -1,0 +1,507 @@
+// Batched random dispatch: the random-traffic counterpart of the
+// LLCReadRange/LLCWriteRange fast paths. Random demand defeats both of
+// the controller's sequential-stream devices — the per-stream locator
+// memo never hits, and every tag probe lands on a cold cache line of
+// the (multi-megabyte) tag array. LLCScatter takes the whole batch at
+// once and restructures the work two ways:
+//
+//  1. The request loop is split into chunked passes. A light pass
+//     resolves each request's set/tag/channel and touches its tag word,
+//     in a loop small enough that the out-of-order window holds dozens
+//     of iterations — the random tag-array fetches overlap at the
+//     memory system's full concurrency. The heavy pass then probes and
+//     updates the same (now cache-warm) words IN REQUEST ORDER, so the
+//     tag state sequence, every imc counter, and the per-channel CAS
+//     counts are byte-identical to serial dispatch by construction.
+//
+//  2. NVRAM device calls are not issued inside the heavy pass (a
+//     call per miss on an unpredictable branch). Each miss's fill read
+//     and each dirty victim's writeback are instead appended — still in
+//     request order — to a queue per (DIMM, direction), and the queues
+//     are applied after the batch as tight homogeneous loops inside the
+//     nvram package. Legality: the interleave map is a pure function of
+//     the address, DIMMs share no state, and within one DIMM the read
+//     path (read memo, media read count) and the write path (combining
+//     buffer, write memo, media write count) touch disjoint fields — so
+//     the only orders that matter are the per-DIMM same-direction
+//     orders, which append order preserves exactly. Every interface and
+//     media counter is byte-identical to serial dispatch, and the
+//     queues may be applied in ANY order — the shuffle property test
+//     permutes them and asserts byte-identity; the differential tests
+//     pin byte-identity against the per-line path across all policy
+//     ablations. See DESIGN.md §4e for the full argument.
+package imc
+
+import (
+	"twolm/internal/cache"
+	"twolm/internal/fastdiv"
+	"twolm/internal/mem"
+	"twolm/internal/nvram"
+)
+
+// Req is one LLC-level request, packed into a single word: the
+// line-aligned address with the operation in the low (sub-line) bits.
+// Build with ReadReq/WriteReq.
+type Req uint64
+
+const (
+	// reqWrite marks a writeback; clear means a demand read. Line
+	// addresses are 64 B aligned, so the low six bits are free.
+	reqWrite uint64 = 1
+
+	lineMask = uint64(mem.Line - 1)
+)
+
+// ReadReq packs a demand read (load miss / RFO) of addr's line.
+func ReadReq(addr uint64) Req { return Req(addr &^ lineMask) }
+
+// WriteReq packs an LLC writeback (or nontemporal store) of addr's line.
+func WriteReq(addr uint64) Req { return Req(addr&^lineMask | reqWrite) }
+
+// chiWrite marks a writeback in the packed channel word of the chunk
+// scratch; the channel index occupies the low 31 bits.
+const chiWrite uint32 = 1 << 31
+
+// dispatchChunk is the two-pass granularity: small enough that a
+// chunk's resolved tag words survive in cache until the heavy pass
+// reuses them, large enough to amortize the loop split.
+const dispatchChunk = 512
+
+// touchSink keeps the resolve pass's tag-word loads observable:
+// accumulating into a package variable stops the compiler from
+// discarding the loads as dead code (which would silently turn the
+// touch into pure bounds checks and reintroduce the stalls it exists
+// to hide).
+var touchSink uint64
+
+// scatterState is the controller-owned scratch of LLCScatter, reused
+// across batches so the steady-state random path allocates nothing.
+type scatterState struct {
+	serial bool // geometry exceeds the packed channel encoding
+
+	// Per-chunk scratch of the resolve pass.
+	cset [dispatchChunk]uint64
+	ctag [dispatchChunk]uint32
+	cchi [dispatchChunk]uint32 // channel | chiWrite
+
+	// Per-chunk deferred-NVRAM staging: fill reads and victim
+	// writebacks collected by the heavy pass through register cursors,
+	// partitioned into the per-DIMM queues by the tiny loops that
+	// follow it.
+	cfill [dispatchChunk]uint64
+	cvict [dispatchChunk]uint64
+
+	casR []uint64 // per-channel CAS deltas of the current batch
+	casW []uint64
+
+	// Deferred NVRAM queues: one per (DIMM, direction) — read queues
+	// first, then write queues. Entries are line addresses in request
+	// order; buffers grow monotonically and are reused across batches.
+	qbuf    [][]uint64
+	qcur    []int
+	order   []uint32 // queue apply order (identity; test hook permutes)
+	ndimm   int
+	dimmDiv fastdiv.Divisor
+
+	// Divisor copies for the resolve pass: DivMod/Mod on a local
+	// Divisor value inline fully, where the cache and DRAM method
+	// calls per request do not. Same construction, same quotients.
+	setDiv fastdiv.Divisor
+	chDiv  fastdiv.Divisor
+
+	reqs []Req // packing buffer for the address-slice wrappers
+}
+
+// initScatter captures the NVRAM interleave geometry and sizes the
+// fixed scratch.
+func (c *Controller) initScatter() {
+	st := &c.scat
+	// The chunk scratch packs the channel index beside the operation
+	// bit; a geometry exceeding 31 bits of channel index (never built
+	// in practice) falls back to serial dispatch instead of truncating.
+	if uint64(c.nch) >= uint64(chiWrite) {
+		st.serial = true
+		return
+	}
+	st.casR = make([]uint64, c.nch)
+	st.casW = make([]uint64, c.nch)
+	nd := c.NVRAM.DIMMs()
+	st.ndimm = nd
+	st.dimmDiv = c.NVRAM.DIMMDivisor()
+	st.setDiv = fastdiv.New(c.sets)
+	st.chDiv = fastdiv.New(uint64(c.nch))
+	st.qbuf = make([][]uint64, 2*nd)
+	st.qcur = make([]int, 2*nd)
+	st.order = make([]uint32, 2*nd)
+	for i := range st.order {
+		st.order[i] = uint32(i)
+	}
+}
+
+// queueReserve guarantees every deferred queue has room for n more
+// entries, so the dispatch loop can append with an unconditional store
+// and a masked cursor bump instead of a per-append capacity branch.
+func (c *Controller) queueReserve(n int) {
+	st := &c.scat
+	for j := range st.qbuf {
+		need := st.qcur[j] + n
+		if need <= len(st.qbuf[j]) {
+			continue
+		}
+		ncap := 2 * len(st.qbuf[j])
+		if ncap < need {
+			ncap = need
+		}
+		if ncap < 4096 {
+			ncap = 4096
+		}
+		nb := make([]uint64, ncap)
+		copy(nb, st.qbuf[j][:st.qcur[j]])
+		st.qbuf[j] = nb
+	}
+}
+
+// applyQueues drains the deferred NVRAM queues. The apply order is
+// immaterial (disjoint DIMMs; disjoint read/write state within a DIMM)
+// — the scatShuffle hook permutes it to let the property test prove
+// exactly that. Applying through the DIMM batch entry points bypasses
+// the Module's interleave memos, which are pure lookup caches with no
+// counter effect.
+func (c *Controller) applyQueues() {
+	st := &c.scat
+	if c.scatShuffle != nil {
+		c.scatShuffle(st.order)
+	}
+	nd := st.ndimm
+	for _, j := range st.order {
+		n := st.qcur[j]
+		st.qcur[j] = 0
+		if n == 0 {
+			continue
+		}
+		q := st.qbuf[j][:n]
+		if int(j) < nd {
+			c.NVRAM.DIMMAt(int(j)).ReadBatch(q)
+		} else {
+			c.NVRAM.DIMMAt(int(j) - nd).WriteBatch(q)
+		}
+	}
+}
+
+// LLCReadScatter services a batch of demand reads at arbitrary line
+// addresses — the random-traffic analogue of LLCReadRange. Counter
+// results are byte-identical to calling LLCRead on each address in
+// slice order.
+func (c *Controller) LLCReadScatter(addrs []uint64) {
+	reqs := c.scat.reqs[:0]
+	for _, a := range addrs {
+		reqs = append(reqs, ReadReq(a))
+	}
+	c.scat.reqs = reqs
+	c.LLCScatter(reqs)
+}
+
+// LLCWriteScatter services a batch of LLC writebacks at arbitrary line
+// addresses — the random-traffic analogue of LLCWriteRange. Counter
+// results are byte-identical to calling LLCWrite on each address in
+// slice order.
+func (c *Controller) LLCWriteScatter(addrs []uint64) {
+	reqs := c.scat.reqs[:0]
+	for _, a := range addrs {
+		reqs = append(reqs, WriteReq(a))
+	}
+	c.scat.reqs = reqs
+	c.LLCScatter(reqs)
+}
+
+// scatterSerial dispatches a batch through the per-line entry points:
+// the associative (Ways > 1) ablations and geometry fallbacks, where
+// request order and device-call order are trivially serial.
+func (c *Controller) scatterSerial(reqs []Req) {
+	for _, r := range reqs {
+		if uint64(r)&reqWrite == 0 {
+			c.LLCRead(uint64(r) &^ lineMask)
+		} else {
+			c.LLCWrite(uint64(r) &^ lineMask)
+		}
+	}
+	if c.sink != nil {
+		c.maybeSample()
+	}
+}
+
+// LLCScatter services a mixed batch of packed requests. Counter
+// results — imc.Counters, per-channel CAS, NVRAM interface and media
+// counters — are byte-identical to dispatching each request serially
+// in slice order (the differential tests pin this); requests are
+// processed in slice order, with only the NVRAM device calls regrouped
+// per DIMM and direction.
+func (c *Controller) LLCScatter(reqs []Req) {
+	if len(reqs) == 0 {
+		return
+	}
+	st := &c.scat
+	words := c.Cache.DirectEntries()
+	if st.serial || words == nil {
+		c.scatterSerial(reqs)
+		return
+	}
+	clear(st.casR)
+	clear(st.casW)
+	var d Counters
+	if c.policy.ReadAllocate && c.policy.WriteAllocate && !c.DisableDDO {
+		c.dispatchHW(&d, words, reqs)
+	} else {
+		c.dispatchAblate(&d, words, reqs)
+	}
+	for i, r := range st.casR {
+		c.DRAM.ChannelAt(i).CASReads += r
+	}
+	for i, w := range st.casW {
+		c.DRAM.ChannelAt(i).CASWrites += w
+	}
+	c.applyQueues()
+	c.counters = c.counters.Add(d)
+	if c.sink != nil {
+		c.maybeSample()
+	}
+}
+
+// dispatchHW is the dispatch loop for the configuration every headline
+// experiment runs: direct mapped (Ways==1) with the hardware policy
+// (read + write allocate, DDO on). The tag outcome splits the demand
+// stream roughly in half under random traffic, so any branch on it
+// mispredicts constantly; the heavy pass is straight-line instead —
+// every counter update is predicated arithmetic on the probe outcome
+// bits, and the deferred NVRAM appends store unconditionally with a
+// masked cursor bump (the slot is overwritten when the request defers
+// nothing). Counter results are identical to the per-line path (the
+// differential and shuffle tests run the same traffic through every
+// ablation at Ways 1 and 4).
+func (c *Controller) dispatchHW(d *Counters, words []uint64, reqs []Req) {
+	st := &c.scat
+	sets := c.sets
+	casR, casW := st.casR, st.casW
+	nd := st.ndimm
+	dimmDiv := st.dimmDiv
+	// Counter accumulators live in plain locals so they stay in
+	// registers: a += on a shared *Counters field is a memory
+	// read-modify-write whose store the next iteration's load depends
+	// on, and a dozen such chains per request serialize the whole loop.
+	// Only the four independent outcomes are counted; the rest are
+	// derived once at the end (on this policy every request reads DRAM
+	// unless DDO elides it, every miss reads NVRAM and fills DRAM, and
+	// every dirty victim writes NVRAM).
+	var nW, nHit, nMissD, nDDO uint64
+	for off := 0; off < len(reqs); off += dispatchChunk {
+		chunk := reqs[off:]
+		if len(chunk) > dispatchChunk {
+			chunk = chunk[:dispatchChunk]
+		}
+		// Resolve pass: split each address once, with fully inlined
+		// divisor arithmetic — the cache and DRAM method calls would
+		// cost a call per request.
+		for k, r := range chunk {
+			line := (uint64(r) &^ lineMask) >> mem.LineShift
+			tag, set := st.setDiv.DivMod(line)
+			st.cset[k] = set
+			st.ctag[k] = uint32(tag)
+			st.cchi[k] = uint32(st.chDiv.Mod(line)) | uint32(uint64(r)&reqWrite)<<31
+		}
+		// Touch pass: pull the chunk's tag words toward the core. Three
+		// micro-ops per iteration, so the reorder window holds dozens
+		// of them and the random fetches overlap at the memory system's
+		// full concurrency, where the heavy pass below would stall on
+		// them a few at a time.
+		var touch uint64
+		for k := range chunk {
+			touch += words[st.cset[k]]
+		}
+		touchSink += touch
+		// Heavy pass, in request order: probe, predicated counters and
+		// tag-word update, masked staging of the deferred NVRAM work.
+		var nf, nv int
+		for k, r := range chunk {
+			a := uint64(r) &^ lineMask
+			set := st.cset[k]
+			tag := st.ctag[k]
+			chi := st.cchi[k] &^ chiWrite
+			isW := uint64(st.cchi[k] >> 31)
+			w := words[set]
+
+			// Probe outcome as 0/1 predicates. The packed-entry flag
+			// layout (EntryValid=1<<0, EntryDirty=1<<1,
+			// EntryLLCOwned=1<<2, tag above bit 8) is part of the cache
+			// package's exported word format: masking the dirty and
+			// owned bits off the resident word leaves exactly the valid
+			// tag image to compare against.
+			var hit, dv, ddo uint64
+			if w&^(cache.EntryDirty|cache.EntryLLCOwned) == cache.PackEntry(tag, cache.EntryValid) {
+				hit = 1
+			}
+			if w&(cache.EntryValid|cache.EntryDirty) == cache.EntryValid|cache.EntryDirty {
+				dv = 1 - hit // miss with valid dirty victim
+			}
+			miss := 1 - hit
+			ddo = isW & hit & (w >> 2) & 1
+
+			nW += isW
+			nHit += hit
+			nMissD += dv
+			nDDO += ddo
+			casR[chi] += 1 - ddo
+			casW[chi] += miss + isW
+
+			// Stage the miss's fill read and the dirty victim's
+			// writeback, in request order, through register cursors:
+			// the slot is stored unconditionally and abandoned when the
+			// cursor does not advance (the reconstructed victim address
+			// is garbage when dv is 0, and discarded the same way).
+			st.cfill[nf] = a
+			nf += int(miss)
+			va := (uint64(cache.EntryTagOf(w))*sets + set) << mem.LineShift
+			st.cvict[nv] = va
+			nv += int(dv)
+
+			// New entry word: a read hit gains the LLC-owned flag, a
+			// write hit gains dirty and drops owned, and a miss installs
+			// the incoming tag (owned for reads, dirty for writes).
+			addBits := cache.EntryLLCOwned - 2*isW // 4 on reads, 2 on writes
+			nw := cache.PackEntry(tag, cache.EntryValid|addBits)
+			if hit == 1 {
+				nw = (w | addBits) &^ (cache.EntryLLCOwned * isW)
+			}
+			words[set] = nw
+		}
+		// Hand the staged work to the device model, still in request
+		// order per direction (reads and writes commute within a DIMM,
+		// so splitting the directions preserves byte-identity). With
+		// the shuffle hook installed, the property-test path instead
+		// partitions into the per-DIMM queues applied after the batch,
+		// so the test can permute the apply order.
+		if c.scatShuffle == nil {
+			c.NVRAM.ReadBatch(st.cfill[:nf])
+			c.NVRAM.WriteBatch(st.cvict[:nv])
+		} else {
+			c.queueReserve(len(chunk))
+			for _, a := range st.cfill[:nf] {
+				di := dimmDiv.Mod(a / nvram.InterleaveGranularity)
+				st.qbuf[di][st.qcur[di]] = a
+				st.qcur[di]++
+			}
+			for _, va := range st.cvict[:nv] {
+				dj := uint64(nd) + dimmDiv.Mod(va/nvram.InterleaveGranularity)
+				st.qbuf[dj][st.qcur[dj]] = va
+				st.qcur[dj]++
+			}
+		}
+	}
+	nTotal := uint64(len(reqs))
+	nMiss := nTotal - nHit
+	d.LLCRead += nTotal - nW
+	d.LLCWrite += nW
+	d.DRAMRead += nTotal - nDDO
+	d.DRAMWrite += nMiss + nW
+	d.NVRAMRead += nMiss
+	d.NVRAMWrite += nMissD
+	d.TagHit += nHit
+	d.TagMissClean += nMiss - nMissD
+	d.TagMissDirty += nMissD
+	d.DDO += nDDO
+}
+
+// dispatchAblate is the dispatch loop for the direct-mapped (Ways==1)
+// tag store under the ablation policies. Requests run in order with
+// direct NVRAM calls (victim writeback before fill, exactly as the
+// per-line miss path issues them), so byte-identity is by construction;
+// the probe and every tag-state transition still fold into one load and
+// one store of the packed entry word. Ablations are off the headline
+// benchmark path, so this loop keeps the readable branchy form.
+func (c *Controller) dispatchAblate(d *Counters, words []uint64, reqs []Req) {
+	st := &c.scat
+	sets := c.sets
+	readAlloc := c.policy.ReadAllocate
+	writeAlloc := c.policy.WriteAllocate
+	ddoOK := !c.DisableDDO
+	casR, casW := st.casR, st.casW
+	for _, r := range reqs {
+		a := uint64(r) &^ lineMask
+		set, tag := c.Cache.Index(a)
+		chi := c.DRAM.ChannelIndex(a)
+		w := words[set]
+		hit := w&cache.EntryValid != 0 && cache.EntryTagOf(w) == tag
+
+		if uint64(r)&reqWrite == 0 {
+			// Demand read: DRAM fetches tag and data together.
+			d.LLCRead++
+			d.DRAMRead++
+			casR[chi]++
+			switch {
+			case hit:
+				d.TagHit++
+				words[set] = w | cache.EntryLLCOwned
+			case !readAlloc:
+				// Ablation: forward from NVRAM without caching.
+				d.TagMissClean++
+				d.NVRAMRead++
+				c.NVRAM.Read(a)
+			default:
+				if w&(cache.EntryValid|cache.EntryDirty) == cache.EntryValid|cache.EntryDirty {
+					d.TagMissDirty++
+					d.NVRAMWrite++
+					c.NVRAM.Write((uint64(cache.EntryTagOf(w))*sets + set) << mem.LineShift)
+				} else {
+					d.TagMissClean++
+				}
+				d.NVRAMRead++
+				c.NVRAM.Read(a)
+				d.DRAMWrite++
+				casW[chi]++
+				words[set] = cache.PackEntry(tag, cache.EntryValid|cache.EntryLLCOwned)
+			}
+			continue
+		}
+
+		// LLC writeback.
+		d.LLCWrite++
+		switch {
+		case ddoOK && hit && w&cache.EntryLLCOwned != 0:
+			d.DDO++
+			d.TagHit++
+			d.DRAMWrite++
+			casW[chi]++
+			words[set] = (w | cache.EntryDirty) &^ cache.EntryLLCOwned
+		case hit:
+			// DRAM read purely for the tag check.
+			d.DRAMRead++
+			casR[chi]++
+			d.TagHit++
+			d.DRAMWrite++
+			casW[chi]++
+			words[set] = (w | cache.EntryDirty) &^ cache.EntryLLCOwned
+		case !writeAlloc:
+			// Ablation: write-around straight to NVRAM.
+			d.DRAMRead++
+			casR[chi]++
+			d.TagMissClean++
+			d.NVRAMWrite++
+			c.NVRAM.Write(a)
+		default:
+			d.DRAMRead++
+			casR[chi]++
+			if w&(cache.EntryValid|cache.EntryDirty) == cache.EntryValid|cache.EntryDirty {
+				d.TagMissDirty++
+				d.NVRAMWrite++
+				c.NVRAM.Write((uint64(cache.EntryTagOf(w))*sets + set) << mem.LineShift)
+			} else {
+				d.TagMissClean++
+			}
+			d.NVRAMRead++
+			c.NVRAM.Read(a)
+			// Insert-on-miss, then the actual write of the line.
+			d.DRAMWrite += 2
+			casW[chi] += 2
+			words[set] = cache.PackEntry(tag, cache.EntryValid|cache.EntryDirty)
+		}
+	}
+}

@@ -97,11 +97,12 @@ func (l *LFSR) State() uint32 { return l.state }
 // returned values cycle through every nonzero width-bit value exactly
 // once per period.
 func (l *LFSR) Next() uint32 {
-	lsb := l.state & 1
-	l.state >>= 1
-	if lsb != 0 {
-		l.state ^= l.mask
-	}
+	// Branchless Galois step: the feedback mask is applied under an
+	// all-ones or all-zeros mask derived from the output bit. The output
+	// bit of a maximum-length register is an even coin flip, so a branch
+	// here would mispredict every other step.
+	s := l.state
+	l.state = (s >> 1) ^ (l.mask & -(s & 1))
 	return l.state
 }
 
@@ -124,11 +125,103 @@ func WidthFor(n uint64) (uint, error) {
 	return 0, fmt.Errorf("lfsr: %d exceeds maximum period", n)
 }
 
+// Stream produces the same index sequence as Sequence — every index in
+// [0, n) exactly once, zero first — in caller-sized chunks instead of a
+// callback per index. The skip test (an out-of-range state is an uneven
+// coin flip) is a masked cursor bump rather than a branch, and the
+// consumer's loop over the filled buffer is branch free too, which is
+// why the hot random pass uses this instead of Sequence. The zero value
+// is not usable; construct with NewStream.
+type Stream struct {
+	state   uint32
+	mask    uint32
+	n       uint64
+	emitted uint64
+	steps   uint64
+	period  uint64
+	first   bool // index 0 not yet emitted
+}
+
+// NewStream returns a Stream over [0, n) seeded like Sequence. The
+// value is self-contained and lives wherever the caller puts it — no
+// heap state, so the random-path benchmarks stay at 0 allocs/op.
+func NewStream(n uint64, seed uint32) (Stream, error) {
+	if n <= 1 {
+		return Stream{n: n, first: n == 1}, nil
+	}
+	w, err := WidthFor(n - 1)
+	if err != nil {
+		return Stream{}, err
+	}
+	state := seed
+	if w < 32 {
+		state &= (1 << w) - 1
+	}
+	if state == 0 {
+		state = 1
+	}
+	return Stream{
+		state:  state,
+		mask:   taps[w],
+		n:      n,
+		period: (uint64(1) << w) - 1,
+		first:  true,
+	}, nil
+}
+
+// Fill writes up to len(buf) further indices into buf and returns the
+// count written; zero means the sequence is exhausted. An error means
+// the register cycled without covering [0, n) — impossible for a
+// well-formed width table, mirroring Sequence's invariant check.
+func (s *Stream) Fill(buf []uint32) (int, error) {
+	if s.emitted == s.n || len(buf) == 0 {
+		return 0, nil
+	}
+	c := 0
+	if s.first {
+		buf[0] = 0
+		c = 1
+		s.first = false
+		s.emitted = 1
+		if s.emitted == s.n {
+			return c, nil
+		}
+	}
+	limit := len(buf)
+	if rem := s.n - s.emitted; uint64(limit-c) > rem {
+		limit = c + int(rem)
+	}
+	cStart := c
+	state, mask, n := s.state, s.mask, s.n
+	steps, period := s.steps, s.period
+	for c < limit && steps < period {
+		// Branchless Galois step plus a masked cursor bump: the store
+		// is unconditional and the slot is overwritten when the state
+		// falls outside [1, n).
+		state = (state >> 1) ^ (mask & -(state & 1))
+		steps++
+		buf[c] = state
+		if uint64(state) < n {
+			c++
+		}
+	}
+	s.state, s.steps = state, steps
+	s.emitted += uint64(c - cStart)
+	if c == 0 && s.emitted < s.n {
+		return 0, fmt.Errorf("lfsr: stream emitted %d of %d indices", s.emitted, s.n)
+	}
+	return c, nil
+}
+
 // Sequence visits every index in [0, n) exactly once in pseudo-random
 // order, calling fn for each. It uses the smallest LFSR covering n and
 // skips out-of-range states (at most half of the steps are skipped, by
 // choice of width). Index 0, which the LFSR cannot produce, is visited
 // first.
+//
+// The register lives in locals rather than behind a *LFSR so the call
+// is allocation free — the random-path benchmarks assert 0 allocs/op
+// through here.
 func Sequence(n uint64, seed uint32, fn func(idx uint64)) error {
 	if n == 0 {
 		return nil
@@ -141,16 +234,22 @@ func Sequence(n uint64, seed uint32, fn func(idx uint64)) error {
 	if err != nil {
 		return err
 	}
-	l, err := New(w, seed)
-	if err != nil {
-		return err
+	mask := taps[w]
+	state := seed
+	if w < 32 {
+		state &= (1 << w) - 1
+	}
+	if state == 0 {
+		state = 1
 	}
 	fn(0)
 	emitted := uint64(1)
-	period := l.Period()
+	period := (uint64(1) << w) - 1
 	for i := uint64(0); i < period && emitted < n; i++ {
-		v := uint64(l.Next())
-		if v < n {
+		// Branchless Galois step — the feedback bit is an even coin
+		// flip, so an if on it would mispredict every other step.
+		state = (state >> 1) ^ (mask & -(state & 1))
+		if v := uint64(state); v < n {
 			fn(v)
 			emitted++
 		}

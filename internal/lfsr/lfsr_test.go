@@ -174,3 +174,56 @@ func BenchmarkNext(b *testing.B) {
 		l.Next()
 	}
 }
+
+// TestStreamMatchesSequence pins the Stream contract: for any n and
+// seed, Fill-ing through a Stream in arbitrary chunk sizes emits
+// exactly the index sequence Sequence produces, in the same order.
+func TestStreamMatchesSequence(t *testing.T) {
+	for _, tc := range []struct {
+		n    uint64
+		seed uint32
+		buf  int
+	}{
+		{0, 1, 8}, {1, 1, 8}, {2, 7, 1}, {3, 0, 2}, {100, 0xBEEF, 7},
+		{1000, 0x2B1A, 64}, {4096, 42, 2048}, {5000, 0xFFFF, 4096},
+	} {
+		want := make([]uint64, 0, tc.n)
+		if err := Sequence(tc.n, tc.seed, func(idx uint64) {
+			want = append(want, idx)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		st, err := NewStream(tc.n, tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]uint64, 0, tc.n)
+		buf := make([]uint32, tc.buf)
+		for {
+			k, err := st.Fill(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k == 0 {
+				break
+			}
+			for _, v := range buf[:k] {
+				got = append(got, uint64(v))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d seed=%#x buf=%d: got %d indices, want %d",
+				tc.n, tc.seed, tc.buf, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d seed=%#x buf=%d: index %d is %d, want %d",
+					tc.n, tc.seed, tc.buf, i, got[i], want[i])
+			}
+		}
+		// Exhausted streams keep returning 0 without error.
+		if k, err := st.Fill(buf); k != 0 || err != nil {
+			t.Fatalf("n=%d: exhausted Fill returned (%d, %v)", tc.n, k, err)
+		}
+	}
+}

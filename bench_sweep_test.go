@@ -1,0 +1,53 @@
+// Sweep-throughput benchmarks: design-space points executed per
+// second through internal/sweep's pooled-controller runner, against
+// the naive fresh-allocation-per-job baseline it replaces. These are
+// the second tracked perf-trajectory metric (sweep_jobs_per_sec in
+// BENCH_throughput.json, gated by cmd/benchcheck) next to the lines/s
+// stream benchmarks in bench_throughput_test.go.
+package twolm_test
+
+import (
+	"runtime"
+	"testing"
+
+	"twolm/internal/sweep"
+)
+
+// benchSweep runs the committed 1024-point benchmark grid b.N times
+// and reports jobs/s. fresh disables controller recycling, measuring
+// the cold construct-per-job baseline.
+func benchSweep(b *testing.B, fresh bool) {
+	r, err := sweep.New(sweep.BenchmarkSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.Fresh = fresh
+	workers := runtime.NumCPU()
+	// Untimed warm-up sweep: populates the per-geometry controller
+	// arena (or, fresh, just faults the allocator paths), so the timed
+	// sweeps run at steady state.
+	if _, err := r.Run(workers, nil); err != nil {
+		b.Fatal(err)
+	}
+	jobs := len(r.Points())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(workers, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkSweepThroughput is the gated configuration: pooled
+// controllers recycled per geometry class at 0 steady-state allocs
+// per job.
+func BenchmarkSweepThroughput(b *testing.B) { benchSweep(b, false) }
+
+// BenchmarkSweepThroughputFresh is the naive baseline: every job
+// constructs its controller stack (multi-MiB tag arrays included)
+// from scratch. The acceptance criterion is that the pooled runner
+// sustains >= 1.5x this configuration's jobs/s.
+func BenchmarkSweepThroughputFresh(b *testing.B) { benchSweep(b, true) }

@@ -1,11 +1,15 @@
 // Command benchcheck guards the tracked perf-trajectory baseline.
 //
 // The repository commits BENCH_throughput.json — the measured
-// simulator throughput of the four SimThroughput configurations — so
-// the perf trajectory lives in git rather than in benchmark lore.
-// benchcheck re-measures on the current tree and fails (exit 1) when
-// any configuration regresses more than -tolerance below the
-// committed baseline; CI runs it as the bench-smoke gate.
+// simulator throughput of the four SimThroughput stream
+// configurations plus the sweep-engine jobs/sec entry
+// (sweep_jobs_per_sec, the pooled-controller design-space sweep over
+// the committed 1024-point benchmark grid) — so the perf trajectory
+// lives in git rather than in benchmark lore. benchcheck re-measures
+// on the current tree and fails (exit 1) when any configuration
+// regresses more than -tolerance below the committed baseline; CI
+// runs it as the bench-smoke gate. Stream entries are compared on
+// lines/sec, the sweep entry on jobs/sec (ThroughputResult.Rate).
 //
 //	benchcheck                  # compare against BENCH_throughput.json
 //	benchcheck -tolerance 0.10  # explicit regression budget
@@ -24,8 +28,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"twolm/internal/engine"
+	"twolm/internal/sweep"
 )
 
 func main() {
@@ -62,6 +69,11 @@ func run(baseline string, tolerance float64, update bool, trials int, scale uint
 	if err != nil {
 		return err
 	}
+	sweepRes, err := measureSweepBest(trials)
+	if err != nil {
+		return err
+	}
+	current.Results = append(current.Results, sweepRes)
 	if update {
 		f, err := os.Create(baseline)
 		if err != nil {
@@ -107,9 +119,50 @@ func measureBest(cfg engine.ThroughputConfig, trials int) (*engine.ThroughputRep
 			continue
 		}
 		for j := range rep.Results {
-			if j < len(best.Results) && rep.Results[j].LinesPerSec > best.Results[j].LinesPerSec {
+			if j < len(best.Results) && rep.Results[j].Rate() > best.Results[j].Rate() {
 				best.Results[j] = rep.Results[j]
 			}
+		}
+	}
+	return best, nil
+}
+
+// measureSweepBest runs the committed sweep benchmark grid `trials`
+// times on the pooled-controller runner and keeps the fastest trial.
+// The runner (and its per-geometry controller arena) is built once
+// and an untimed warm-up sweep populates the arena, so trials measure
+// the steady state the benchmark gates — the same protocol as
+// BenchmarkSweepThroughput.
+func measureSweepBest(trials int) (engine.ThroughputResult, error) {
+	r, err := sweep.New(sweep.BenchmarkSpec())
+	if err != nil {
+		return engine.ThroughputResult{}, err
+	}
+	workers := runtime.NumCPU()
+	if _, err := r.Run(workers, nil); err != nil {
+		return engine.ThroughputResult{}, err
+	}
+	best := engine.ThroughputResult{
+		Name:    "sweep-bench-grid",
+		Mode:    "2LM",
+		Pattern: "sweep",
+	}
+	for i := 0; i < trials; i++ {
+		start := time.Now()
+		rows, err := r.Run(workers, nil)
+		sec := time.Since(start).Seconds()
+		if err != nil {
+			return engine.ThroughputResult{}, err
+		}
+		var lines uint64
+		for j := range rows {
+			lines += rows[j].Lines
+		}
+		if jps := float64(len(rows)) / sec; jps > best.JobsPerSec {
+			best.Lines = lines
+			best.Seconds = sec
+			best.LinesPerSec = float64(lines) / sec
+			best.JobsPerSec = jps
 		}
 	}
 	return best, nil
@@ -133,10 +186,13 @@ func readReport(path string) (*engine.ThroughputReport, error) {
 // compare prints the per-configuration table and returns how many
 // configurations fell more than tolerance below the baseline. Every
 // baseline configuration must be present in the current measurement.
+// Each configuration is compared on its own gated figure
+// (ThroughputResult.Rate): lines/sec for stream entries, jobs/sec for
+// sweep entries.
 func compare(w io.Writer, base, current *engine.ThroughputReport, tolerance float64) (int, error) {
 	byName := map[string]float64{}
 	for _, r := range current.Results {
-		byName[r.Name] = r.LinesPerSec
+		byName[r.Name] = r.Rate()
 	}
 	regressions := 0
 	fmt.Fprintf(w, "%-24s %14s %14s %8s\n", "configuration", "baseline", "current", "ratio")
@@ -145,16 +201,17 @@ func compare(w io.Writer, base, current *engine.ThroughputReport, tolerance floa
 		if !ok {
 			return 0, fmt.Errorf("configuration %q in baseline but not measured", b.Name)
 		}
+		rate := b.Rate()
 		ratio := 0.0
-		if b.LinesPerSec > 0 {
-			ratio = cur / b.LinesPerSec
+		if rate > 0 {
+			ratio = cur / rate
 		}
 		verdict := ""
-		if cur < b.LinesPerSec*(1-tolerance) {
+		if cur < rate*(1-tolerance) {
 			regressions++
 			verdict = "  REGRESSED"
 		}
-		fmt.Fprintf(w, "%-24s %14.0f %14.0f %7.2fx%s\n", b.Name, b.LinesPerSec, cur, ratio, verdict)
+		fmt.Fprintf(w, "%-24s %14.0f %14.0f %7.2fx%s\n", b.Name, rate, cur, ratio, verdict)
 	}
 	return regressions, nil
 }

@@ -73,6 +73,44 @@ func TestCompareMissingConfiguration(t *testing.T) {
 	}
 }
 
+// TestCompareGatesSweepOnJobsPerSec: a sweep entry is compared on
+// jobs/sec (Rate), not on its informational lines/sec — a job-rate
+// regression is flagged even when the line rate improves.
+func TestCompareGatesSweepOnJobsPerSec(t *testing.T) {
+	base := &engine.ThroughputReport{Results: []engine.ThroughputResult{
+		{Name: "sweep-bench-grid", LinesPerSec: 1e6, JobsPerSec: 1000},
+	}}
+	cur := &engine.ThroughputReport{Results: []engine.ThroughputResult{
+		{Name: "sweep-bench-grid", LinesPerSec: 1e9, JobsPerSec: 800},
+	}}
+	var buf bytes.Buffer
+	n, err := compare(&buf, base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("compare flagged %d regressions, want 1 (jobs/sec fell 20%%):\n%s", n, buf.String())
+	}
+}
+
+// TestMeasureSweepSmoke: the sweep measurement produces a plausible
+// sweep-bench-grid entry whose gated figure is the jobs rate.
+func TestMeasureSweepSmoke(t *testing.T) {
+	res, err := measureSweepBest(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "sweep-bench-grid" || res.Pattern != "sweep" {
+		t.Errorf("unexpected identity %q/%q", res.Name, res.Pattern)
+	}
+	if res.JobsPerSec <= 0 || res.LinesPerSec <= 0 || res.Lines == 0 {
+		t.Errorf("empty measurement: %+v", res)
+	}
+	if res.Rate() != res.JobsPerSec {
+		t.Errorf("Rate() = %v, want the jobs rate %v", res.Rate(), res.JobsPerSec)
+	}
+}
+
 // TestRunRejectsBadFlags pins the up-front validation.
 func TestRunRejectsBadFlags(t *testing.T) {
 	var buf bytes.Buffer

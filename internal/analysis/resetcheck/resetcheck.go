@@ -4,12 +4,16 @@
 // silently-wrong data instead of errors, because Sub clamps at zero:
 //
 //   - reversed operands — earlier.Sub(later) clamps every field to 0,
-//   - snapshots straddling ResetCounters — the controller (and its
-//     DRAM/NVRAM modules) restarted from zero between the two
-//     captures, so their difference measures nothing.
+//   - snapshots straddling ResetCounters or Reset — the controller
+//     (and its DRAM/NVRAM modules) restarted from zero between the
+//     two captures, so their difference measures nothing. Reset
+//     (which additionally invalidates cache contents for controller
+//     recycling) rewinds the demand clock exactly like ResetCounters,
+//     so both are reset points here.
 //
 // The analysis is lexical within one function body: it tracks
-// `x := recv.Counters()` captures, recv.ResetCounters() calls, and
+// `x := recv.Counters()` captures, recv.ResetCounters() and
+// recv.Reset() calls, and
 // a.Sub(b) uses on the same receiver, comparing source positions. It
 // deliberately ignores control flow — a pattern tangled enough to
 // defeat it should be rewritten, or carry an explicit //lint:ignore
@@ -28,14 +32,17 @@ import (
 var Analyzer = &lintkit.Analyzer{
 	Name: "resetcheck",
 	Doc: "Counters snapshot deltas must be later.Sub(earlier) with no " +
-		"ResetCounters between the captures; clamped Sub turns both " +
-		"misuses into silent zeros",
+		"ResetCounters or Reset between the captures; clamped Sub turns " +
+		"both misuses into silent zeros",
 	Run: run,
 }
 
 type capture struct {
 	pos  token.Pos
 	recv string
+	// method names the reset call for resets collected by the first
+	// pass ("ResetCounters" or "Reset"); empty for snapshot captures.
+	method string
 }
 
 func run(pass *lintkit.Pass) error {
@@ -83,8 +90,14 @@ func checkFunc(pass *lintkit.Pass, body *ast.BlockStmt) {
 				}
 			}
 		case *ast.ExprStmt:
-			if recv, ok := snapshotCall(pass, s.X, "ResetCounters"); ok {
-				resets = append(resets, capture{pos: s.X.Pos(), recv: recv})
+			// Both reset flavors rewind the counters: ResetCounters
+			// (counters only, cache preserved) and Reset (full
+			// recycle, cache invalidated too). A delta across either
+			// is meaningless.
+			for _, method := range [...]string{"ResetCounters", "Reset"} {
+				if recv, ok := snapshotCall(pass, s.X, method); ok {
+					resets = append(resets, capture{pos: s.X.Pos(), recv: recv, method: method})
+				}
 			}
 		}
 		return true
@@ -109,9 +122,9 @@ func checkFunc(pass *lintkit.Pass, body *ast.BlockStmt) {
 		case a.pos < b.pos:
 			pass.Reportf(ce.Pos(),
 				"reversed snapshot delta: the receiver of Sub was captured before its argument, so every monotonic field clamps to zero; swap the operands")
-		case straddles(resets, a, b):
+		case straddles(resets, a, b) != "":
 			pass.Reportf(ce.Pos(),
-				"snapshot delta straddles ResetCounters on %s: the counters restarted from zero between the two captures, so the difference is meaningless", a.recv)
+				"snapshot delta straddles %s on %s: the counters restarted from zero between the two captures, so the difference is meaningless", straddles(resets, a, b), a.recv)
 		}
 		return true
 	})
@@ -148,15 +161,16 @@ func operand(pass *lintkit.Pass, snaps map[types.Object]capture, e ast.Expr) (ca
 	return capture{}, false
 }
 
-// straddles reports whether any reset on the same receiver falls
-// between the two capture positions (b earlier, a later).
-func straddles(resets []capture, a, b capture) bool {
+// straddles returns the name of a reset method on the same receiver
+// falling between the two capture positions (b earlier, a later), or
+// "" when the delta is clean.
+func straddles(resets []capture, a, b capture) string {
 	for _, r := range resets {
 		if r.recv == a.recv && b.pos < r.pos && r.pos < a.pos {
-			return true
+			return r.method
 		}
 	}
-	return false
+	return ""
 }
 
 // isCounters reports whether t is (a pointer to) a struct type named

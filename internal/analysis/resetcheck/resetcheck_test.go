@@ -7,11 +7,12 @@ import (
 	"twolm/internal/analysis/resetcheck"
 )
 
-// TestSnapshotPairing: reversed deltas and deltas straddling
-// ResetCounters are flagged; correct and cross-receiver shapes pass.
+// TestSnapshotPairing: reversed deltas and deltas straddling either
+// reset flavor (ResetCounters or the full-state Reset) are flagged;
+// correct, pre-interval-reset and cross-receiver shapes pass.
 func TestSnapshotPairing(t *testing.T) {
 	diags := analysistest.Run(t, resetcheck.Analyzer, "resetbad")
-	if len(diags) != 3 {
-		t.Errorf("got %d diagnostics, want 3", len(diags))
+	if len(diags) != 4 {
+		t.Errorf("got %d diagnostics, want 4", len(diags))
 	}
 }

@@ -21,6 +21,7 @@ type Ctrl struct {
 
 func (c *Ctrl) Counters() Counters { return c.c }
 func (c *Ctrl) ResetCounters()     { c.c = Counters{} }
+func (c *Ctrl) Reset()             { c.c = Counters{} }
 func (c *Ctrl) Work()              { c.c.N++ }
 
 // Delta is the correct shape: later.Sub(earlier), no reset between.
@@ -48,6 +49,27 @@ func Straddle(ct *Ctrl) Counters {
 	ct.Work()
 	after := ct.Counters()
 	return after.Sub(before) // want `snapshot delta straddles ResetCounters`
+}
+
+// StraddleFullReset recycles the controller between the two captures:
+// the full-state Reset rewinds the counters exactly like
+// ResetCounters, so the delta is equally meaningless.
+func StraddleFullReset(ct *Ctrl) Counters {
+	before := ct.Counters()
+	ct.Reset()
+	ct.Work()
+	after := ct.Counters()
+	return after.Sub(before) // want `snapshot delta straddles Reset`
+}
+
+// ResetBeforeBothCaptures is clean: the recycle happens before the
+// measurement interval opens, not inside it.
+func ResetBeforeBothCaptures(ct *Ctrl) Counters {
+	ct.Reset()
+	before := ct.Counters()
+	ct.Work()
+	after := ct.Counters()
+	return after.Sub(before)
 }
 
 // InlineDelta captures the receiver side inline: still the correct

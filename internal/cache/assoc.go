@@ -285,9 +285,15 @@ func (c *Assoc) ForEachDirty(fn func(addr uint64)) {
 	}
 }
 
-// Reset invalidates every entry.
+// Reset invalidates every entry, returning the tag store to its
+// as-constructed state without allocating. Direct-mapped stores skip
+// the LRU stamp clear: Ways==1 never reads or writes a stamp (Probe
+// and InstallTag take the specialized path), so for the common sweep
+// geometry this halves the words zeroed per controller recycle.
 func (c *Assoc) Reset() {
 	clear(c.entries)
-	clear(c.stamps)
+	if c.ways > 1 {
+		clear(c.stamps)
+	}
 	c.clock = 0
 }

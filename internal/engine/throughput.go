@@ -46,6 +46,11 @@ func DefaultThroughputConfig() ThroughputConfig {
 }
 
 // ThroughputResult is one measured stream configuration.
+//
+// Stream configurations report lines/sec. Sweep configurations (whole
+// design-space points executed per second by internal/sweep) report
+// jobs/sec in JobsPerSec and keep LinesPerSec as the informational
+// aggregate line rate; Rate picks the gated figure either way.
 type ThroughputResult struct {
 	Name        string  `json:"name"`
 	Mode        string  `json:"mode"`
@@ -53,6 +58,16 @@ type ThroughputResult struct {
 	Lines       uint64  `json:"lines"`
 	Seconds     float64 `json:"seconds"`
 	LinesPerSec float64 `json:"lines_per_sec"`
+	JobsPerSec  float64 `json:"sweep_jobs_per_sec,omitempty"`
+}
+
+// Rate returns the configuration's regression-gated throughput figure:
+// jobs/sec for sweep entries, lines/sec for stream entries.
+func (r ThroughputResult) Rate() float64 {
+	if r.JobsPerSec > 0 {
+		return r.JobsPerSec
+	}
+	return r.LinesPerSec
 }
 
 // ThroughputReport is the serialized BENCH_throughput.json payload.

@@ -311,13 +311,6 @@ func New(dramMod *dram.Module, nvramMod *nvram.Module, opts ...Option) (*Control
 	return c, nil
 }
 
-// NewWithPolicy assembles a controller with an explicit policy.
-//
-// Deprecated: use New(dramMod, nvramMod, WithPolicy(policy)).
-func NewWithPolicy(dramMod *dram.Module, nvramMod *nvram.Module, policy Policy) (*Controller, error) {
-	return New(dramMod, nvramMod, WithPolicy(policy))
-}
-
 // SetTelemetry attaches (or, with a nil sink, detaches) a telemetry
 // sink sampled every `every` demand lines. The next boundary is
 // computed from the current counters, so attaching mid-run starts a
@@ -400,12 +393,17 @@ func (c *Controller) Policy() Policy { return c.policy }
 func (c *Controller) Counters() Counters { return c.counters }
 
 // ResetCounters zeroes the event counters without touching cache state,
-// mirroring how the paper primes the cache and then measures.
+// mirroring how the paper primes the cache and then measures: tags
+// installed before the reset keep producing hits after it.
 //
 // Despite its name, it also resets the backing DRAM and NVRAM modules:
 // their CAS/media counters (and the NVRAM write-combining state) belong
 // to the same measurement interval, and leaving them running would let
 // device counters diverge from the controller counters they must match.
+//
+// Use Reset instead to also invalidate the cache contents — i.e. to
+// make a recycled controller indistinguishable from a freshly
+// constructed one.
 func (c *Controller) ResetCounters() {
 	c.counters = Counters{}
 	c.DRAM.Reset()
@@ -416,6 +414,38 @@ func (c *Controller) ResetCounters() {
 		c.lastSample = 0
 		c.nextSample = telemetry.NextBoundary(0, c.sampleEvery)
 	}
+}
+
+// Reset returns the controller to its as-constructed state: counters
+// AND cache contents, so a recycled controller is observationally
+// identical to one built fresh by New over zeroed modules — the
+// property the sweep engine's per-geometry controller reuse depends
+// on, proven by the recycled-vs-fresh differential test.
+//
+// Contrast with ResetCounters, which deliberately preserves cache
+// contents (the paper's prime-then-measure protocol). Reset subsumes
+// it: counters, device modules, telemetry phase, tag store, stream
+// locators, and scatter scratch all rewind. Nothing is reallocated —
+// geometry (capacities, channels, DIMMs, ways) and policy are fixed at
+// construction, so every buffer is zeroed in place and a worker can
+// recycle one controller per geometry class at 0 allocs per job.
+//
+// Like ResetCounters, Reset rewinds the demand clock, so a snapshot
+// delta must not straddle it (the resetcheck analyzer enforces this).
+func (c *Controller) Reset() {
+	c.Cache.Reset()
+	// The stream locators memoize a pure function of the address, so
+	// stale memos would still be correct — but a fresh controller
+	// starts with invalid memos, and Reset promises indistinguishable
+	// state, not merely indistinguishable counters.
+	c.readLoc = streamLocator{}
+	c.writeLoc = streamLocator{}
+	// Deferred-queue cursors are already zero after any completed
+	// batch (applyQueues drains them); clear them anyway so a
+	// controller abandoned mid-batch cannot leak requests into the
+	// next job if a caller recycles it regardless.
+	clear(c.scat.qcur)
+	c.ResetCounters()
 }
 
 // countMiss records the miss classification into ctr and writes back a

@@ -67,17 +67,19 @@ const chiWrite uint32 = 1 << 31
 // reuses them, large enough to amortize the loop split.
 const dispatchChunk = 512
 
-// touchSink keeps the resolve pass's tag-word loads observable:
-// accumulating into a package variable stops the compiler from
-// discarding the loads as dead code (which would silently turn the
-// touch into pure bounds checks and reintroduce the stalls it exists
-// to hide).
-var touchSink uint64
-
 // scatterState is the controller-owned scratch of LLCScatter, reused
 // across batches so the steady-state random path allocates nothing.
 type scatterState struct {
 	serial bool // geometry exceeds the packed channel encoding
+
+	// touchSink keeps the resolve pass's tag-word loads observable:
+	// accumulating into controller-owned memory stops the compiler
+	// from discarding the loads as dead code (which would silently
+	// turn the touch into pure bounds checks and reintroduce the
+	// stalls it exists to hide). Controller-owned rather than a
+	// package variable so concurrent controllers — engine shards,
+	// sweep workers — never share a write target.
+	touchSink uint64
 
 	// Per-chunk scratch of the resolve pass.
 	cset [dispatchChunk]uint64
@@ -317,7 +319,7 @@ func (c *Controller) dispatchHW(d *Counters, words []uint64, reqs []Req) {
 		for k := range chunk {
 			touch += words[st.cset[k]]
 		}
-		touchSink += touch
+		st.touchSink += touch
 		// Heavy pass, in request order: probe, predicated counters and
 		// tag-word update, masked staging of the deferred NVRAM work.
 		var nf, nv int

@@ -433,11 +433,17 @@ func (m *Module) Snapshot() telemetry.Sample {
 	}
 }
 
-// Reset zeroes all counters and combining state. The interleave memos
-// are dropped because they point at the replaced DIMMs.
+// Reset zeroes all counters and combining state in place. The DIMM
+// objects are retained rather than replaced — a recycled module must
+// not allocate, because the sweep engine resets thousands of
+// controllers per second and holds its steady state at 0 allocs per
+// job. A zeroed DIMM is field-for-field identical to a fresh one, so
+// post-reset counters match a newly constructed module exactly. The
+// interleave memos are dropped so the first post-reset access
+// recomputes its chunk.
 func (m *Module) Reset() {
-	for i := range m.dimms {
-		m.dimms[i] = newDIMM()
+	for _, d := range m.dimms {
+		*d = DIMM{}
 	}
 	m.lastRead, m.lastWrite = nil, nil
 }

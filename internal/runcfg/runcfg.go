@@ -1,6 +1,6 @@
 // Package runcfg is the shared command-line surface of the repro
-// binaries. Every command (repro, cnnsim, graphsim, nvbench, and —
-// partially — nvtrace) historically grew its own copy of the same
+// binaries. Every command (repro, cnnsim, graphsim, nvbench, nvsweep,
+// and — partially — nvtrace) historically grew its own copy of the same
 // flag block; this package owns it once, so all binaries accept the
 // same -out/-scale/-quick/-parallel/-channels/-metrics-addr set with
 // the same validation and the same live-metrics bootstrap.

@@ -1,0 +1,250 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+
+	"twolm/internal/dram"
+	"twolm/internal/engine"
+	"twolm/internal/imc"
+	"twolm/internal/lfsr"
+	"twolm/internal/mem"
+	"twolm/internal/nvram"
+)
+
+// batchLines is the random-pattern staging size: indices are drawn
+// from the LFSR stream and handed to the controller's scatter path in
+// chunks of this many requests, matching engine.RandPass.
+const batchLines = 2048
+
+// rig is one pooled execution context: a controller plus the
+// fixed-size scratch the random pattern stages requests through. Rigs
+// never migrate between geometry classes — geom is fixed at build —
+// and a released rig is Reset before it re-enters the arena, so an
+// acquired rig is always observationally identical to a fresh one.
+type rig struct {
+	geom *Geometry
+	ctrl *imc.Controller
+	idx  [batchLines]uint32
+	reqs [batchLines]imc.Req
+}
+
+// arena is the sync.Pool-style controller store behind job execution:
+// free rigs keyed by canonical geometry class. Unlike sync.Pool it
+// never discards rigs under GC pressure — the whole point is that a
+// 1000-job sweep allocates one rig per (class, concurrently active
+// worker), not one per job — and it keys by the canonical *Geometry
+// from Expand, so even a Geometry.Key hash collision could not hand a
+// job a wrong-shaped controller.
+type arena struct {
+	mu   sync.Mutex
+	free map[*Geometry][]*rig
+}
+
+// acquire returns a ready rig for the class, recycling a pooled one
+// when available. With fresh set it always constructs — the naive
+// baseline BenchmarkSweepThroughputFresh measures against.
+func (a *arena) acquire(g *Geometry, fresh bool) (*rig, error) {
+	if !fresh {
+		a.mu.Lock()
+		if rigs := a.free[g]; len(rigs) > 0 {
+			rg := rigs[len(rigs)-1]
+			a.free[g] = rigs[:len(rigs)-1]
+			a.mu.Unlock()
+			return rg, nil
+		}
+		a.mu.Unlock()
+	}
+	return buildRig(g)
+}
+
+// release resets the rig and returns it to the class's free list. In
+// fresh mode the rig is dropped for the GC to reclaim, like the naive
+// one-controller-per-job runner this mode reproduces.
+func (a *arena) release(rg *rig, fresh bool) {
+	if fresh {
+		return
+	}
+	rg.ctrl.Reset()
+	a.mu.Lock()
+	if a.free == nil {
+		a.free = make(map[*Geometry][]*rig)
+	}
+	a.free[rg.geom] = append(a.free[rg.geom], rg)
+	a.mu.Unlock()
+}
+
+// buildRig constructs the controller stack for one geometry class.
+func buildRig(g *Geometry) (*rig, error) {
+	d, err := dram.New(g.Channels, g.CacheBytes)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	n, err := nvram.New(g.DIMMs, g.NVRAMBytes)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	ctrl, err := imc.New(d, n, imc.WithPolicy(g.Policy))
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	return &rig{geom: g, ctrl: ctrl}, nil
+}
+
+// Runner executes an expanded sweep on the engine worker pool. Build
+// one with New; Run may be called repeatedly (the benchmark loop does)
+// and reuses the job list, row storage, and controller arena across
+// calls, so steady-state execution allocates nothing per job.
+type Runner struct {
+	// Fresh disables controller recycling: every job constructs its
+	// full controller stack from scratch. This is the naive baseline
+	// the ≥1.5x jobs/sec target is measured against; leave it false
+	// for real sweeps.
+	Fresh bool
+
+	spec   Spec
+	points []Point
+	rows   []Row
+	jobs   []engine.Job
+	pool   arena
+}
+
+// New expands and validates the spec and prepares the reusable job
+// list. The one-time cost here (point expansion, job closures, row
+// storage, per-point names) is deliberately front-loaded so Run's
+// steady state stays allocation free.
+func New(spec Spec) (*Runner, error) {
+	points, err := Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("sweep: spec %q expands to no points", spec.Name)
+	}
+	r := &Runner{
+		spec:   spec.Normalized(),
+		points: points,
+		rows:   make([]Row, len(points)),
+	}
+	r.jobs = make([]engine.Job, len(points))
+	for i := range points {
+		p := &r.points[i]
+		row := &r.rows[i]
+		r.jobs[i] = engine.Job{
+			Name: pointName(p),
+			Run: func() ([]engine.Artifact, error) {
+				return nil, r.executePoint(p, row)
+			},
+		}
+	}
+	return r, nil
+}
+
+// pointName renders the point's stable human-readable label, used for
+// job progress and error attribution (the merge key is Index, never
+// the name).
+func pointName(p *Point) string {
+	return fmt.Sprintf("%04d %dKiB/w%d/%s/ch%d/d%d/r%d/%s/0x%X",
+		p.Index, p.Geom.CacheKiB, p.Geom.Policy.Ways, p.Geom.PolicyName,
+		p.Geom.Channels, p.Geom.DIMMs, p.Geom.Ratio, p.Pattern, p.Seed)
+}
+
+// Points returns the expanded point list in execution (= merge) order.
+func (r *Runner) Points() []Point { return r.points }
+
+// Spec returns the normalized spec the runner was built from.
+func (r *Runner) Spec() Spec { return r.spec }
+
+// Run executes every point on workers goroutines and returns one Row
+// per point in point order — independent of completion order, so the
+// returned table is byte-identical for any worker count. observe, when
+// non-nil, is called once per completed job from worker goroutines in
+// completion order (progress gauges; anything order-sensitive belongs
+// on the rows). The returned slice is the runner's own row storage and
+// is overwritten by the next Run.
+func (r *Runner) Run(workers int, observe func(engine.Outcome)) ([]Row, error) {
+	outs := engine.RunJobsObserved(r.jobs, workers, observe)
+	return r.rows, engine.FirstError(outs)
+}
+
+// executePoint runs one point on a pooled (or, under Fresh, newly
+// built) rig and writes its result row. The row write is a whole-value
+// store of fields already resolved at expansion, so the only per-job
+// heap traffic in steady state is none at all.
+func (r *Runner) executePoint(p *Point, row *Row) error {
+	rg, err := r.pool.acquire(p.Geom, r.Fresh)
+	if err != nil {
+		return err
+	}
+	g := p.Geom
+	switch p.kind {
+	case patSequential:
+		for pass := 0; pass < p.Passes; pass++ {
+			rg.ctrl.LLCReadRange(0, g.PassLines)
+			rg.ctrl.LLCWriteRange(0, g.PassLines)
+		}
+	case patWrite:
+		for pass := 0; pass < p.Passes; pass++ {
+			rg.ctrl.LLCWriteRange(0, g.PassLines)
+		}
+	case patRandom:
+		for pass := 0; pass < p.Passes; pass++ {
+			if err := r.randomPass(rg, g, p.Seed); err != nil {
+				return err
+			}
+		}
+	}
+	ctr := rg.ctrl.Counters()
+	*row = Row{
+		Index:       p.Index,
+		CacheKiB:    g.CacheKiB,
+		Ways:        g.Policy.Ways,
+		Policy:      g.PolicyName,
+		Channels:    g.Channels,
+		DIMMs:       g.DIMMs,
+		Ratio:       g.Ratio,
+		Pattern:     p.Pattern,
+		Seed:        p.Seed,
+		Passes:      p.Passes,
+		Lines:       ctr.Demand(),
+		Counters:    ctr,
+		MediaReads:  rg.ctrl.NVRAM.TotalMediaReads(),
+		MediaWrites: rg.ctrl.NVRAM.TotalMediaWrites(),
+	}
+	r.pool.release(rg, r.Fresh)
+	return nil
+}
+
+// randomPass issues one LFSR-ordered pass: PassLines demand lines
+// drawn from the full footprint, alternating read and write, staged
+// through the rig's fixed buffers into the batched scatter path.
+func (r *Runner) randomPass(rg *rig, g *Geometry, seed uint32) error {
+	s, err := lfsr.NewStream(g.Lines, seed)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	var emitted uint64
+	for emitted < g.PassLines {
+		n, err := s.Fill(rg.idx[:])
+		if err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		if n == 0 {
+			break
+		}
+		if rem := g.PassLines - emitted; uint64(n) > rem {
+			n = int(rem)
+		}
+		for i := 0; i < n; i++ {
+			addr := uint64(rg.idx[i]) << mem.LineShift
+			if (emitted+uint64(i))&1 == 0 {
+				rg.reqs[i] = imc.ReadReq(addr)
+			} else {
+				rg.reqs[i] = imc.WriteReq(addr)
+			}
+		}
+		rg.ctrl.LLCScatter(rg.reqs[:n])
+		emitted += uint64(n)
+	}
+	return nil
+}

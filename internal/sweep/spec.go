@@ -1,0 +1,418 @@
+// Package sweep turns a declarative design-space specification into
+// thousands of deterministic simulation jobs and executes them at high
+// throughput on the engine worker pool.
+//
+// The paper's argument is comparative — it only lands by measuring
+// many cache geometries and policies against each other — and Babaie
+// et al. ("Enabling Design Space Exploration of DRAM Caches in
+// Emerging Memory Systems") make the case for sweeping
+// size/associativity/ratio grids wholesale. A Spec names the axes;
+// Expand crosses them into Points in a fixed documented order; a
+// Runner executes every point and produces one Row per point, merged
+// into tables that are byte-identical regardless of worker count.
+//
+// The perf headline is amortized job execution: points sharing a
+// Geometry (capacities, channel/DIMM counts, associativity, policy)
+// recycle pooled controllers via imc.Controller.Reset instead of
+// paying a cold construction per job, and all immutable per-class
+// precomputation (resolved capacities, footprint line counts, fastdiv
+// reciprocals and interleave memos inside the pooled controller) is
+// computed once per class and shared read-only across its jobs. The
+// recycled-vs-fresh differential tests prove the reuse is
+// observationally invisible.
+package sweep
+
+import (
+	"fmt"
+
+	"twolm/internal/imc"
+	"twolm/internal/mem"
+)
+
+// Pattern names accepted by Spec.Patterns.
+const (
+	// PatternSequential streams a demand-read pass followed by a
+	// writeback pass over the footprint — the paper's streaming
+	// regime.
+	PatternSequential = "sequential"
+	// PatternRandom issues an LFSR-ordered read/write mix over the
+	// footprint — the paper's random-access regime.
+	PatternRandom = "random"
+	// PatternWrite streams writeback-only passes — the NT-store
+	// regime that exercises DDO and write-allocate policy.
+	PatternWrite = "write"
+)
+
+// Policy ablation names accepted by Spec.Policies, matching the
+// acceptance matrix used by the differential tests since PR 2.
+const (
+	PolicyHardware        = "hardware"
+	PolicyNoWriteAllocate = "no-write-allocate"
+	PolicyNoReadAllocate  = "no-read-allocate"
+	PolicyDDOOff          = "ddo-off"
+)
+
+// Spec is a declarative sweep: each field is one axis, and the sweep
+// is the cross product. Zero-value axes are filled by Normalized with
+// single-element defaults, so a minimal spec names only the axes it
+// varies. JSON tags define the cmd/nvsweep -spec file format.
+type Spec struct {
+	// Name labels the sweep in artifacts and progress gauges.
+	Name string `json:"name,omitempty"`
+
+	// CacheKiB is the DRAM-cache capacity axis, in KiB per
+	// controller. Required: it is the one axis without a default.
+	CacheKiB []uint64 `json:"cache_kib"`
+	// Ways is the tag-store associativity axis (default 1, the
+	// Cascade Lake direct-mapped hardware).
+	Ways []int `json:"ways,omitempty"`
+	// Policies is the allocation-policy ablation axis (default
+	// hardware). See the Policy* constants.
+	Policies []string `json:"policies,omitempty"`
+	// Channels is the DRAM channel-count axis (default 1).
+	Channels []int `json:"channels,omitempty"`
+	// DIMMs is the NVRAM DIMM-count axis (default 1).
+	DIMMs []int `json:"dimms,omitempty"`
+	// Ratios is the NVRAM:DRAM capacity-ratio axis (default 2): the
+	// workload footprint is Ratio x the cache capacity, so every
+	// ratio >= 2 runs the paper's miss-heavy regime.
+	Ratios []uint64 `json:"ratios,omitempty"`
+	// Patterns is the workload-pattern axis (default sequential).
+	Patterns []string `json:"patterns,omitempty"`
+	// Seeds is the random-pattern seed axis (default 0x2B1A, the
+	// throughput benchmark seed). Only PatternRandom points vary by
+	// seed; other patterns are seed-independent and expand once,
+	// pinned to Seeds[0].
+	Seeds []uint32 `json:"seeds,omitempty"`
+
+	// Passes is how many times each point repeats its pattern
+	// (default 1).
+	Passes int `json:"passes,omitempty"`
+	// SampleLines, when nonzero, caps the demand lines each pass
+	// touches. Design-space sweeps bound per-point cost this way: the
+	// measurement samples the footprint instead of scaling with it,
+	// so a point over a 1 GiB footprint costs the same as one over
+	// 16 MiB. Random passes draw the sample from the whole footprint
+	// (the LFSR order spreads it); sequential and write passes
+	// truncate the stream.
+	SampleLines uint64 `json:"sample_lines,omitempty"`
+}
+
+// Normalized returns the spec with every defaultable axis filled in.
+func (s Spec) Normalized() Spec {
+	if len(s.Ways) == 0 {
+		s.Ways = []int{1}
+	}
+	if len(s.Policies) == 0 {
+		s.Policies = []string{PolicyHardware}
+	}
+	if len(s.Channels) == 0 {
+		s.Channels = []int{1}
+	}
+	if len(s.DIMMs) == 0 {
+		s.DIMMs = []int{1}
+	}
+	if len(s.Ratios) == 0 {
+		s.Ratios = []uint64{2}
+	}
+	if len(s.Patterns) == 0 {
+		s.Patterns = []string{PatternSequential}
+	}
+	if len(s.Seeds) == 0 {
+		s.Seeds = []uint32{0x2B1A}
+	}
+	if s.Passes == 0 {
+		s.Passes = 1
+	}
+	return s
+}
+
+// policyFor maps an ablation name onto the controller policy at the
+// given associativity.
+func policyFor(name string, ways int) (imc.Policy, error) {
+	p := imc.HardwarePolicy()
+	p.Ways = ways
+	switch name {
+	case PolicyHardware:
+	case PolicyNoWriteAllocate:
+		p.WriteAllocate = false
+	case PolicyNoReadAllocate:
+		p.ReadAllocate = false
+	case PolicyDDOOff:
+		p.DisableDDO = true
+	default:
+		return imc.Policy{}, fmt.Errorf("sweep: unknown policy %q (want %s|%s|%s|%s)",
+			name, PolicyHardware, PolicyNoWriteAllocate, PolicyNoReadAllocate, PolicyDDOOff)
+	}
+	return p, nil
+}
+
+// patternKind is the dispatch-ready form of a pattern name.
+type patternKind uint8
+
+const (
+	patSequential patternKind = iota
+	patRandom
+	patWrite
+)
+
+func patternFor(name string) (patternKind, error) {
+	switch name {
+	case PatternSequential:
+		return patSequential, nil
+	case PatternRandom:
+		return patRandom, nil
+	case PatternWrite:
+		return patWrite, nil
+	}
+	return 0, fmt.Errorf("sweep: unknown pattern %q (want %s|%s|%s)",
+		name, PatternSequential, PatternRandom, PatternWrite)
+}
+
+// Geometry is the immutable precomputation shared by every point of
+// one geometry class: the resolved capacities and derived line counts
+// that fix a controller's allocation shape and policy. Expand builds
+// exactly one Geometry value per distinct class and every Point of the
+// class references it read-only, so the per-class work (validation,
+// capacity arithmetic, and — inside the pooled controllers built from
+// it — fastdiv reciprocals, interleave memos, and the packed tag-array
+// shell) is paid once, not per job.
+type Geometry struct {
+	CacheKiB   uint64
+	CacheBytes uint64
+	NVRAMBytes uint64
+	Ratio      uint64
+	Channels   int
+	DIMMs      int
+	PolicyName string
+	Policy     imc.Policy
+
+	// CacheLines and Lines are the cache and footprint sizes in 64 B
+	// lines; PassLines is the demand lines each pass touches after
+	// the SampleLines cap.
+	CacheLines uint64
+	Lines      uint64
+	PassLines  uint64
+}
+
+// Key returns the class's stable FNV-1a geometry hash — the arena and
+// label key for controller reuse. Two points may share pooled state
+// only when every field that shapes controller allocation or behavior
+// hashes in here; Expand additionally dedupes classes by exact field
+// value, so equal keys always mean equal geometry.
+func (g *Geometry) Key() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(g.CacheBytes)
+	mix(g.NVRAMBytes)
+	mix(uint64(g.Channels))
+	mix(uint64(g.DIMMs))
+	mix(uint64(g.Policy.Ways))
+	var bits uint64
+	if g.Policy.WriteAllocate {
+		bits |= 1
+	}
+	if g.Policy.ReadAllocate {
+		bits |= 2
+	}
+	if g.Policy.DisableDDO {
+		bits |= 4
+	}
+	mix(bits)
+	return h
+}
+
+// classID is the comparable exact-value identity used to dedupe
+// geometry classes during expansion. The pool itself is keyed by the
+// canonical *Geometry this produces, so a (vanishingly unlikely) hash
+// collision in Key could mislabel a class but can never hand a job a
+// wrong-geometry controller.
+type classID struct {
+	cacheBytes uint64
+	nvramBytes uint64
+	channels   int
+	dimms      int
+	policy     imc.Policy
+}
+
+// Point is one fully resolved job of the sweep: a geometry class plus
+// the per-point workload parameters. Index is the point's position in
+// expansion order — the merge key that makes result tables independent
+// of execution order.
+type Point struct {
+	Index   int
+	Geom    *Geometry
+	Pattern string
+	Seed    uint32
+	Passes  int
+
+	kind patternKind
+}
+
+// Expand normalizes and validates the spec and crosses its axes into
+// the deterministic point list. Axis order is fixed and documented:
+// cache size, ways, policy, channels, DIMMs, ratio, pattern, seed —
+// the slowest-varying axis first. The same spec always yields the
+// same points in the same order, which is what lets merged tables be
+// compared byte-for-byte across runs and worker counts.
+func Expand(s Spec) ([]Point, error) {
+	s = s.Normalized()
+	if len(s.CacheKiB) == 0 {
+		return nil, fmt.Errorf("sweep: spec has no cache_kib axis")
+	}
+	if s.Passes < 1 {
+		return nil, fmt.Errorf("sweep: passes %d must be positive", s.Passes)
+	}
+	classes := make(map[classID]*Geometry)
+	var points []Point
+	for _, kib := range s.CacheKiB {
+		for _, ways := range s.Ways {
+			for _, polName := range s.Policies {
+				for _, ch := range s.Channels {
+					for _, dimms := range s.DIMMs {
+						for _, ratio := range s.Ratios {
+							g, err := resolveClass(classes, s, kib, ways, polName, ch, dimms, ratio)
+							if err != nil {
+								return nil, err
+							}
+							for _, pat := range s.Patterns {
+								kind, err := patternFor(pat)
+								if err != nil {
+									return nil, err
+								}
+								seeds := s.Seeds
+								if kind != patRandom {
+									// Seed-independent patterns expand
+									// once, not once per seed.
+									seeds = s.Seeds[:1]
+								}
+								for _, seed := range seeds {
+									points = append(points, Point{
+										Index:   len(points),
+										Geom:    g,
+										Pattern: pat,
+										Seed:    seed,
+										Passes:  s.Passes,
+										kind:    kind,
+									})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return points, nil
+}
+
+// resolveClass validates one geometry combination and returns its
+// canonical shared Geometry, creating it on first sight.
+func resolveClass(classes map[classID]*Geometry, s Spec, kib uint64, ways int, polName string, ch, dimms int, ratio uint64) (*Geometry, error) {
+	pol, err := policyFor(polName, ways)
+	if err != nil {
+		return nil, err
+	}
+	if kib == 0 {
+		return nil, fmt.Errorf("sweep: cache size must be positive")
+	}
+	cacheBytes := kib * 1024
+	if cacheBytes%(mem.Line*uint64(ways)) != 0 {
+		return nil, fmt.Errorf("sweep: cache %d KiB is not a multiple of %d ways x %d B lines", kib, ways, mem.Line)
+	}
+	if ch < 1 {
+		return nil, fmt.Errorf("sweep: channel count %d must be positive", ch)
+	}
+	if dimms < 1 {
+		return nil, fmt.Errorf("sweep: dimm count %d must be positive", dimms)
+	}
+	if ratio < 1 {
+		return nil, fmt.Errorf("sweep: ratio %d must be >= 1", ratio)
+	}
+	id := classID{cacheBytes: cacheBytes, nvramBytes: cacheBytes * ratio, channels: ch, dimms: dimms, policy: pol}
+	if g, ok := classes[id]; ok {
+		return g, nil
+	}
+	g := &Geometry{
+		CacheKiB:   kib,
+		CacheBytes: cacheBytes,
+		NVRAMBytes: cacheBytes * ratio,
+		Ratio:      ratio,
+		Channels:   ch,
+		DIMMs:      dimms,
+		PolicyName: polName,
+		Policy:     pol,
+		CacheLines: cacheBytes / mem.Line,
+	}
+	g.Lines = g.NVRAMBytes / mem.Line
+	g.PassLines = g.Lines
+	if s.SampleLines != 0 && s.SampleLines < g.PassLines {
+		g.PassLines = s.SampleLines
+	}
+	classes[id] = g
+	return g, nil
+}
+
+// DefaultSpec is the full nvsweep grid: the paper's comparison axes
+// (size, associativity, all four policy ablations, DRAM:NVRAM ratio)
+// over both stream shapes. 432 points.
+func DefaultSpec() Spec {
+	return Spec{
+		Name:     "default",
+		CacheKiB: []uint64{256, 512, 1024},
+		Ways:     []int{1, 4},
+		Policies: []string{PolicyHardware, PolicyNoWriteAllocate, PolicyNoReadAllocate, PolicyDDOOff},
+		Channels: []int{1, 6},
+		Ratios:   []uint64{2, 4, 8},
+		Patterns: []string{PatternSequential, PatternRandom},
+		Passes:   1,
+	}
+}
+
+// QuickSpec is the CI smoke grid: small caches, every pattern and
+// policy, two worker-visible geometry axes. 48 points, sub-second.
+func QuickSpec() Spec {
+	return Spec{
+		Name:     "quick",
+		CacheKiB: []uint64{64, 128},
+		Ways:     []int{1, 4},
+		Policies: []string{PolicyHardware, PolicyNoWriteAllocate, PolicyNoReadAllocate, PolicyDDOOff},
+		Ratios:   []uint64{2},
+		Patterns: []string{PatternSequential, PatternRandom, PatternWrite},
+		Passes:   1,
+	}
+}
+
+// BenchmarkSpec is the 1024-point grid behind BenchmarkSweepThroughput
+// and the benchcheck sweep_jobs_per_sec gate: 16 geometry classes
+// (2 sizes x 2 ways x 4 policies) x 64 random seeds, sampled at 4096
+// lines per job so per-job work is bounded while the per-job setup a
+// naive runner would pay (a multi-MiB tag array per point) is not —
+// the regime controller reuse exists for.
+func BenchmarkSpec() Spec {
+	seeds := make([]uint32, 64)
+	for i := range seeds {
+		seeds[i] = 0x2B1A + uint32(i)*0x9E37
+	}
+	return Spec{
+		Name:        "bench",
+		CacheKiB:    []uint64{2048, 4096},
+		Ways:        []int{1, 4},
+		Policies:    []string{PolicyHardware, PolicyNoWriteAllocate, PolicyNoReadAllocate, PolicyDDOOff},
+		Ratios:      []uint64{4},
+		Patterns:    []string{PatternRandom},
+		Seeds:       seeds,
+		Passes:      1,
+		SampleLines: 4096,
+	}
+}

@@ -1,0 +1,267 @@
+package sweep
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"twolm/internal/engine"
+	"twolm/internal/telemetry"
+)
+
+// testSpec is a small grid covering every pattern, all four policy
+// ablations and both associativities — the acceptance matrix at sweep
+// granularity.
+func testSpec() Spec {
+	return Spec{
+		Name:     "test",
+		CacheKiB: []uint64{64, 128},
+		Ways:     []int{1, 4},
+		Policies: []string{PolicyHardware, PolicyNoWriteAllocate, PolicyNoReadAllocate, PolicyDDOOff},
+		Ratios:   []uint64{2},
+		Patterns: []string{PatternSequential, PatternRandom, PatternWrite},
+		Seeds:    []uint32{0x2B1A, 0xBEEF},
+		Passes:   1,
+	}
+}
+
+// TestExpandOrderAndDefaults: expansion is the documented cross
+// product — slowest axis first, indexes dense from zero — and
+// seed-independent patterns expand once regardless of the seed axis.
+func TestExpandOrderAndDefaults(t *testing.T) {
+	points, err := Expand(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 sizes x 2 ways x 4 policies x 1 ch x 1 dimm x 1 ratio =
+	// 16 classes; sequential + write expand once, random twice (two
+	// seeds) = 4 points per class.
+	if len(points) != 64 {
+		t.Fatalf("expanded %d points, want 64", len(points))
+	}
+	for i, p := range points {
+		if p.Index != i {
+			t.Fatalf("point %d has Index %d", i, p.Index)
+		}
+		if p.Pattern != PatternRandom && p.Seed != 0x2B1A {
+			t.Errorf("point %d: %s pattern varied by seed %#x", i, p.Pattern, p.Seed)
+		}
+	}
+	// First class: both random seeds present, in axis order.
+	if points[0].Pattern != PatternSequential || points[1].Pattern != PatternRandom ||
+		points[2].Pattern != PatternRandom || points[3].Pattern != PatternWrite {
+		t.Errorf("pattern axis order violated: %s %s %s %s",
+			points[0].Pattern, points[1].Pattern, points[2].Pattern, points[3].Pattern)
+	}
+	if points[1].Seed != 0x2B1A || points[2].Seed != 0xBEEF {
+		t.Errorf("seed axis order violated: %#x %#x", points[1].Seed, points[2].Seed)
+	}
+}
+
+// TestExpandSharesGeometry: points of one geometry class share the
+// same canonical *Geometry — the read-only precomputation the arena
+// keys controller reuse on — and distinct classes get distinct keys.
+func TestExpandSharesGeometry(t *testing.T) {
+	points, err := Expand(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[*Geometry]uint64{}
+	for _, p := range points {
+		keys[p.Geom] = p.Geom.Key()
+	}
+	if len(keys) != 16 {
+		t.Fatalf("%d canonical geometries, want 16", len(keys))
+	}
+	seen := map[uint64]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("geometry hash collision on %#x across the test grid", k)
+		}
+		seen[k] = true
+	}
+	if points[0].Geom != points[3].Geom {
+		t.Error("points of one class do not share a canonical Geometry")
+	}
+}
+
+// TestExpandRejectsBadAxes pins the validation errors.
+func TestExpandRejectsBadAxes(t *testing.T) {
+	cases := map[string]Spec{
+		"no cache axis":   {},
+		"unknown policy":  {CacheKiB: []uint64{64}, Policies: []string{"write-around"}},
+		"unknown pattern": {CacheKiB: []uint64{64}, Patterns: []string{"zipf"}},
+		"unaligned ways":  {CacheKiB: []uint64{1}, Ways: []int{3}},
+		"zero ratio":      {CacheKiB: []uint64{64}, Ratios: []uint64{0}},
+		"zero channels":   {CacheKiB: []uint64{64}, Channels: []int{0}},
+		"zero dimms":      {CacheKiB: []uint64{64}, DIMMs: []int{0}},
+	}
+	for name, spec := range cases {
+		if _, err := Expand(spec); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// runTables executes the spec at the given worker count and returns
+// the merged CSV and JSON bytes.
+func runTables(t *testing.T, spec Spec, workers int, fresh bool) (csv, js []byte) {
+	t.Helper()
+	r, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Fresh = fresh
+	rows, err := r.Run(workers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cb, jb bytes.Buffer
+	if err := WriteCSV(&cb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&jb, rows); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), jb.Bytes()
+}
+
+// TestMergedTablesDeterministicAcrossWorkers is the sweep-level
+// determinism property test: the same spec at -parallel 1, 2 and 8
+// yields byte-identical merged CSV and JSON tables. Completion order
+// differs wildly across worker counts; the merge key (point index)
+// must erase it.
+func TestMergedTablesDeterministicAcrossWorkers(t *testing.T) {
+	spec := testSpec()
+	csv1, js1 := runTables(t, spec, 1, false)
+	for _, workers := range []int{2, 8} {
+		csvN, jsN := runTables(t, spec, workers, false)
+		if !bytes.Equal(csv1, csvN) {
+			t.Errorf("CSV table differs between 1 and %d workers", workers)
+		}
+		if !bytes.Equal(js1, jsN) {
+			t.Errorf("JSON table differs between 1 and %d workers", workers)
+		}
+	}
+}
+
+// TestPooledMatchesFresh is the sweep-level recycled-controller
+// differential: the pooled runner (controllers recycled through
+// imc.Controller.Reset across jobs of a class) produces tables
+// byte-identical to the naive fresh-controller-per-job baseline, over
+// all four policy ablations x Ways 1,4 x every pattern.
+func TestPooledMatchesFresh(t *testing.T) {
+	spec := testSpec()
+	pooledCSV, pooledJS := runTables(t, spec, 4, false)
+	freshCSV, freshJS := runTables(t, spec, 4, true)
+	if !bytes.Equal(pooledCSV, freshCSV) {
+		t.Error("pooled and fresh-per-job CSV tables differ")
+	}
+	if !bytes.Equal(pooledJS, freshJS) {
+		t.Error("pooled and fresh-per-job JSON tables differ")
+	}
+}
+
+// TestRunReusesStateDeterministically: repeated Run calls on one
+// Runner (the benchmark loop's shape, with a fully warmed arena)
+// reproduce the first call's table exactly.
+func TestRunReusesStateDeterministically(t *testing.T) {
+	r, err := New(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first bytes.Buffer
+	rows, err := r.Run(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&first, rows); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		rows, err := r.Run(4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var again bytes.Buffer
+		if err := WriteCSV(&again, rows); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("run %d diverged from the first run", i+2)
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocsPerJob pins the perf contract: once the
+// arena holds a rig for a point's class, executing the point
+// allocates nothing — the result row is written in place into
+// preallocated storage.
+func TestSteadyStateZeroAllocsPerJob(t *testing.T) {
+	r, err := New(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the arena serially so every class has a pooled rig.
+	if _, err := r.Run(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, 3, len(r.points) - 1} {
+		p, row := &r.points[i], &r.rows[i]
+		allocs := testing.AllocsPerRun(10, func() {
+			if err := r.executePoint(p, row); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("point %d (%s): %.1f allocs/job in steady state, want 0", i, p.Pattern, allocs)
+		}
+	}
+}
+
+// TestObserveSeesEveryJob: the observe callback fires once per point
+// (the Prometheus progress-gauge contract).
+func TestObserveSeesEveryJob(t *testing.T) {
+	r, err := New(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	_, err = r.Run(4, func(engine.Outcome) { count.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(count.Load()) != len(r.points) {
+		t.Errorf("observe fired %d times, want %d", count.Load(), len(r.points))
+	}
+}
+
+// TestEmitSamples: one labeled cumulative sample per point, in point
+// order, with the row's demand-line clock.
+func TestEmitSamples(t *testing.T) {
+	r, err := New(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := r.Run(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec telemetry.Recorder
+	r.EmitSamples(&rec)
+	samples := rec.Samples()
+	if len(samples) != len(rows) {
+		t.Fatalf("%d samples, want %d", len(samples), len(rows))
+	}
+	for i, s := range samples {
+		if s.Demand != rows[i].Lines {
+			t.Errorf("sample %d demand %d, want %d", i, s.Demand, rows[i].Lines)
+		}
+		if s.Label == "" {
+			t.Errorf("sample %d has no point label", i)
+		}
+		if s.MediaWrites != rows[i].MediaWrites {
+			t.Errorf("sample %d media writes %d, want %d", i, s.MediaWrites, rows[i].MediaWrites)
+		}
+	}
+}

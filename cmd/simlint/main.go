@@ -1,17 +1,27 @@
 // Command simlint runs the repro's invariant analyzers
 // (internal/analysis/...): counterdrift, hotdiv, detrange, ctrmut,
-// and resetcheck. It supports two modes:
+// resetcheck, and the interprocedural pair shardsafe and allocfree.
+// It supports two modes:
 //
 // Standalone (the CI entry point; no toolchain invocation needed):
 //
 //	go run ./cmd/simlint ./...
 //	go run ./cmd/simlint -list
+//	go run ./cmd/simlint -suppressions -pin 2
 //	go run ./cmd/simlint ./internal/imc ./internal/engine
+//
+// -suppressions prints the module's //lint:ignore inventory (one line
+// per directive, then a total); with -pin N it exits nonzero unless
+// the count equals N — the CI step that makes every new suppression a
+// deliberate diff.
 //
 // As a vet tool, speaking the cmd/go unit-checking protocol — the
 // same JSON .cfg handshake golang.org/x/tools/go/analysis/unitchecker
 // implements, reimplemented here on the standard library because the
-// module deliberately has no dependencies:
+// module deliberately has no dependencies. Each unit delegates to the
+// same whole-module source pipeline as standalone mode: the
+// interprocedural analyzers need the full call graph, which gc export
+// data (types only, no function bodies) cannot provide.
 //
 //	go vet -vettool=$(which simlint) ./...
 //
@@ -24,11 +34,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"go/ast"
-	"go/importer"
-	"go/parser"
-	"go/token"
-	"go/types"
 	"io"
 	"os"
 	"path/filepath"
@@ -79,8 +84,10 @@ func printVersion() {
 func runStandalone(args []string) int {
 	fs := flag.NewFlagSet("simlint", flag.ExitOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
+	suppressions := fs.Bool("suppressions", false, "report every //lint:ignore directive in the module and exit")
+	pin := fs.Int("pin", -1, "with -suppressions: fail unless the directive count equals this value")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: simlint [-list] [packages]\n\npackages are ./... style patterns or import paths; default ./...\n")
+		fmt.Fprintf(os.Stderr, "usage: simlint [-list] [-suppressions [-pin N]] [packages]\n\npackages are ./... style patterns or import paths; default ./...\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -99,6 +106,9 @@ func runStandalone(args []string) int {
 	root, modulePath, err := findModule(cwd)
 	if err != nil {
 		return fail(err)
+	}
+	if *suppressions {
+		return reportSuppressions(root, modulePath, *pin)
 	}
 	all, err := lintkit.DiscoverModule(root, modulePath)
 	if err != nil {
@@ -121,6 +131,24 @@ func runStandalone(args []string) int {
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
+		return 2
+	}
+	return 0
+}
+
+// reportSuppressions prints the module's //lint:ignore inventory and,
+// when pin >= 0, enforces the audited count.
+func reportSuppressions(root, modulePath string, pin int) int {
+	sups, err := simlint.Suppressions(root, modulePath)
+	if err != nil {
+		return fail(err)
+	}
+	for _, sup := range sups {
+		fmt.Println(sup)
+	}
+	fmt.Printf("%d suppression(s)\n", len(sups))
+	if pin >= 0 && len(sups) != pin {
+		fmt.Fprintf(os.Stderr, "simlint: suppression count %d does not match pinned count %d; audit the new directive and update the pin deliberately\n", len(sups), pin)
 		return 2
 	}
 	return 0
@@ -241,63 +269,34 @@ func runUnit(cfgPath string) int {
 		return 0
 	}
 
-	fset := token.NewFileSet()
-	var files []*ast.File
-	for _, name := range cfg.GoFiles {
-		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
-		if err != nil {
-			return fail(err)
-		}
-		files = append(files, f)
-	}
-	lookup := func(path string) (io.ReadCloser, error) {
-		if mapped, ok := cfg.ImportMap[path]; ok {
-			path = mapped
-		}
-		file, ok := cfg.PackageFile[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(file)
-	}
-	info := &types.Info{
-		Types:      map[ast.Expr]types.TypeAndValue{},
-		Defs:       map[*ast.Ident]types.Object{},
-		Uses:       map[*ast.Ident]types.Object{},
-		Selections: map[*ast.SelectorExpr]*types.Selection{},
-		Implicits:  map[ast.Node]types.Object{},
-		Scopes:     map[ast.Node]*types.Scope{},
-	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
-	if cfg.GoVersion != "" {
-		conf.GoVersion = cfg.GoVersion
-	}
-	tpkg, err := conf.Check(importPath, fset, files, info)
+	// The unit config hands us one package's files plus gc export data
+	// for its imports — types without function bodies. The
+	// interprocedural analyzers (shardsafe, allocfree, cross-package
+	// detrange) need callee bodies across the whole module, so instead
+	// of typechecking the unit in isolation this mode finds the module
+	// root above the unit's directory and runs the same source pipeline
+	// as standalone mode, scoped to this unit's import path. Slower per
+	// unit, but the answers agree with `simlint ./...` by construction.
+	root, modulePath, err := findModule(cfg.Dir)
 	if err != nil {
+		return fail(err)
+	}
+	findings, err := simlint.Check(root, modulePath, []string{importPath})
+	if err != nil {
+		// cmd/go sets SucceedOnTypecheckFailure for `go vet` runs where
+		// the compiler will report the error anyway; a module that does
+		// not typecheck from source falls under the same contract.
 		if cfg.SucceedOnTypecheckFailure {
 			writeVetx()
 			return 0
 		}
 		return fail(err)
 	}
-
-	pkg := &lintkit.Package{
-		Fset:       fset,
-		Dir:        cfg.Dir,
-		ImportPath: importPath,
-		Files:      files,
-		Types:      tpkg,
-		Info:       info,
-	}
-	diags, err := lintkit.Run(pkg, analyzers)
-	if err != nil {
-		return fail(err)
-	}
 	writeVetx()
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", f.Position, f.Analyzer, f.Message)
 	}
-	if len(diags) > 0 {
+	if len(findings) > 0 {
 		return 2
 	}
 	return 0

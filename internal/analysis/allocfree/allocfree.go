@@ -1,0 +1,298 @@
+// Package allocfree turns the repo's benchmark-only 0-allocs/op
+// guarantees into a compile-time invariant: functions marked
+// //alloc:free — and everything reachable from them through the
+// lintkit call graph — must not contain allocation-inducing
+// constructs.
+//
+// Flagged: make and new, slice/map composite literals (and &-escaping
+// literals), append whose destination differs from its source, fmt
+// calls, function literals (closures), go statements, string<->[]byte
+// and string<->[]rune conversions, and concrete values passed to
+// interface parameters (boxing).
+//
+// Two escape hatches keep the amortized-allocation discipline the hot
+// paths actually use expressible:
+//
+//   - Statements inside an if-block whose condition compares len/cap
+//     or tests nil are exempt: `if cap(b.reqs) < n { b.reqs = make(...) }`
+//     and `if s.batch == nil { s.batch = new(Batch) }` are grow-once
+//     cold paths, and `if err != nil { return fmt.Errorf(...) }` is an
+//     error path that only fires when the run is already over.
+//   - //alloc:cold <reason> on a function declaration cuts reachability
+//     there: the marked function (a constructor, a sampling slow path)
+//     is the declared amortization boundary and is not scanned.
+//
+// Self-append (x = append(x, ...)) is exempt everywhere: with
+// maintained capacity it is the repo's standard 0-alloc batching
+// idiom, and the capacity maintenance itself is what the guards and
+// cold markers declare.
+package allocfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"twolm/internal/analysis/lintkit"
+)
+
+const (
+	// FreeMarker declares the 0-allocs/op contract on a function; the
+	// analyzer scans it and everything it reaches.
+	FreeMarker = "alloc:free"
+	// ColdMarker declares an amortization boundary: the marked
+	// function may allocate (construction, growth, sampling) and
+	// reachability stops there. The trailing reason is mandatory.
+	ColdMarker = "alloc:cold"
+)
+
+var Analyzer = &lintkit.Analyzer{
+	Name: "allocfree",
+	Doc: "flags allocation-inducing constructs in //alloc:free functions and " +
+		"everything reachable from them (stopping at //alloc:cold boundaries), " +
+		"making the hot paths' 0-allocs/op benchmark guarantee a static invariant",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	mod := pass.Module
+	entries := mod.MarkedFuncs(FreeMarker)
+	if len(entries) == 0 {
+		return nil
+	}
+	cold := func(fn *types.Func) bool { return mod.FuncMarked(fn, ColdMarker) }
+	reach := mod.Graph.ReachableFiltered(entries, cold)
+
+	for _, fn := range mod.Funcs() {
+		if reach[fn] == nil || cold(fn) {
+			continue
+		}
+		fd, pkg := mod.FuncDecl(fn)
+		if pkg == nil || pkg.Types != pass.Pkg || fd.Body == nil {
+			continue
+		}
+		checkBody(pass, pkg, fn, fd, reach)
+	}
+	return nil
+}
+
+// checkBody walks one function body, skipping cold-guarded if-blocks,
+// and reports every allocation-inducing construct.
+func checkBody(pass *lintkit.Pass, pkg *lintkit.Package, fn *types.Func, fd *ast.FuncDecl, reach map[*types.Func]*types.Func) {
+	info := pkg.Info
+	selfAppends := selfAppendCalls(fd.Body)
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "allocates on the //alloc:free path (%s): %s; hoist it behind a len/cap/nil guard or an //alloc:cold boundary",
+			lintkit.WitnessPath(reach, fn), what)
+	}
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.IfStmt:
+				if coldGuard(info, x.Cond) {
+					if x.Init != nil {
+						walk(x.Init)
+					}
+					return false // guarded block: declared cold path
+				}
+			case *ast.FuncLit:
+				report(x.Pos(), "function literal (closures escape to the heap)")
+				return false
+			case *ast.GoStmt:
+				report(x.Pos(), "go statement (goroutine launch allocates)")
+			case *ast.CompositeLit:
+				switch info.TypeOf(x).Underlying().(type) {
+				case *types.Slice:
+					report(x.Pos(), "slice literal")
+				case *types.Map:
+					report(x.Pos(), "map literal")
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+						report(x.Pos(), "&-escaping composite literal")
+						return false
+					}
+				}
+			case *ast.CallExpr:
+				checkCall(info, x, selfAppends, report)
+			}
+			return true
+		})
+	}
+	walk(fd.Body)
+}
+
+// checkCall classifies one call expression.
+func checkCall(info *types.Info, ce *ast.CallExpr, selfAppends map[*ast.CallExpr]bool, report func(token.Pos, string)) {
+	// Builtins.
+	if id, ok := ast.Unparen(ce.Fun).(*ast.Ident); ok {
+		if b, ok := info.ObjectOf(id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(ce.Pos(), "make")
+			case "new":
+				report(ce.Pos(), "new")
+			case "append":
+				if !selfAppends[ce] {
+					report(ce.Pos(), "append to a destination other than its source (self-append with maintained capacity is exempt)")
+				}
+			}
+			return
+		}
+	}
+	// Conversions: string <-> []byte/[]rune allocate a copy.
+	if tv, ok := info.Types[ce.Fun]; ok && tv.IsType() && len(ce.Args) == 1 {
+		dst, src := tv.Type.Underlying(), info.TypeOf(ce.Args[0])
+		if src != nil && stringBytesConversion(dst, src.Underlying()) {
+			report(ce.Pos(), "string/byte-slice conversion copies its operand")
+		}
+		return
+	}
+	// fmt anywhere on the hot path allocates (boxing + formatting).
+	if se, ok := ast.Unparen(ce.Fun).(*ast.SelectorExpr); ok {
+		if f, ok := info.Uses[se.Sel].(*types.Func); ok && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+			report(ce.Pos(), "fmt."+f.Name()+" call")
+			return
+		}
+	}
+	// Interface boxing: a concrete argument to an interface parameter.
+	sig, ok := info.TypeOf(ce.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range ce.Args {
+		pt := paramType(sig, i)
+		if pt == nil {
+			continue
+		}
+		if _, ok := pt.Underlying().(*types.Interface); !ok {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || at == types.Typ[types.UntypedNil] {
+			continue
+		}
+		if _, ok := at.Underlying().(*types.Interface); ok {
+			continue
+		}
+		if types.IsInterface(at) {
+			continue
+		}
+		report(arg.Pos(), "concrete value converted to interface parameter (boxing)")
+	}
+}
+
+// paramType resolves the parameter type for argument i, expanding the
+// variadic tail.
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if s, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// stringBytesConversion reports whether a conversion between dst and
+// src underlying types is a copying string conversion.
+func stringBytesConversion(dst, src types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Kind() == types.String
+	}
+	isByteRuneSlice := func(t types.Type) bool {
+		s, ok := t.(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(dst) && isByteRuneSlice(src)) || (isByteRuneSlice(dst) && isStr(src))
+}
+
+// selfAppendCalls collects append calls of the amortized form
+// `x = append(x, ...)`, where the destination expression is
+// structurally identical to append's first argument.
+func selfAppendCalls(body ast.Node) map[*ast.CallExpr]bool {
+	out := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			ce, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(ce.Args) == 0 {
+				continue
+			}
+			if id, ok := ast.Unparen(ce.Fun).(*ast.Ident); !ok || id.Name != "append" {
+				continue
+			}
+			if types.ExprString(as.Lhs[i]) == types.ExprString(ce.Args[0]) {
+				out[ce] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// coldGuard reports whether an if-condition declares a cold path: a
+// comparison involving len or cap (capacity checks), or a nil test
+// (lazy init, error paths). Any operand of && / || qualifying makes
+// the whole condition a guard.
+func coldGuard(info *types.Info, cond ast.Expr) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.LAND, token.LOR:
+		return coldGuard(info, be.X) || coldGuard(info, be.Y)
+	case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		if isNilExpr(info, be.X) || isNilExpr(info, be.Y) {
+			return true
+		}
+		return mentionsLenCap(info, be.X) || mentionsLenCap(info, be.Y)
+	}
+	return false
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		_, isNil := info.ObjectOf(id).(*types.Nil)
+		return isNil
+	}
+	return false
+}
+
+func mentionsLenCap(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		ce, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(ce.Fun).(*ast.Ident); ok {
+			if b, ok := info.ObjectOf(id).(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

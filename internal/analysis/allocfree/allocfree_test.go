@@ -1,0 +1,25 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"twolm/internal/analysis/allocfree"
+	"twolm/internal/analysis/analysistest"
+)
+
+func TestFlagsAllocatingConstructs(t *testing.T) {
+	diags := analysistest.Run(t, allocfree.Analyzer, "allocbad")
+	if len(diags) == 0 {
+		t.Fatal("allocbad fixture produced no diagnostics")
+	}
+}
+
+// TestAmortizedIdiomsExempt proves the repo's real 0-alloc idioms
+// (self-append, cap-guarded growth, nil-guarded lazy init, error-path
+// fmt, //alloc:cold boundaries) pass untouched.
+func TestAmortizedIdiomsExempt(t *testing.T) {
+	diags := analysistest.Run(t, allocfree.Analyzer, "allocok")
+	if len(diags) != 0 {
+		t.Fatalf("allocok fixture should be clean, got %d diagnostics", len(diags))
+	}
+}

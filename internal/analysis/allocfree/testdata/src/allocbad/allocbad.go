@@ -1,0 +1,50 @@
+// Package allocbad exercises every construct allocfree flags, both in
+// the marked function itself and in a helper it reaches.
+package allocbad
+
+import "fmt"
+
+type req struct{ addr uint64 }
+
+type batch struct {
+	reqs  []req
+	sink  func()
+	names map[string]int
+}
+
+//alloc:free the per-op dispatch path must stay at 0 allocs/op
+func (b *batch) Dispatch(addr uint64) {
+	b.reqs = append(b.reqs, req{addr: addr}) // self-append: exempt
+	tmp := make([]req, 4)                    // want `allocates on the //alloc:free path \(allocbad\.\(batch\)\.Dispatch\): make`
+	_ = tmp
+	p := new(req) // want `allocates on the //alloc:free path .*: new`
+	_ = p
+	other := append(tmp, req{}) // want `append to a destination other than its source`
+	_ = other
+	s := []req{{addr: 1}} // want `slice literal`
+	_ = s
+	m := map[string]int{} // want `map literal`
+	_ = m
+	e := &req{addr: addr} // want `&-escaping composite literal`
+	_ = e
+	b.sink = func() {} // want `function literal`
+	go b.helper(addr)  // want `go statement`
+	fmt.Println(addr)  // want `fmt\.Println call`
+	bs := []byte("x")  // want `string/byte-slice conversion`
+	_ = bs
+	b.box(addr) // boxing happens inside the reachable helper
+	b.helper(addr)
+}
+
+// helper is reachable from Dispatch, so it is scanned too.
+func (b *batch) helper(addr uint64) {
+	b.reqs = append(b.reqs, req{addr: addr}, req{addr: addr + 1}) // self-append: exempt
+	s := string([]byte{byte(addr)})                               // want `string/byte-slice conversion` `slice literal`
+	_ = s
+}
+
+func (b *batch) box(v uint64) {
+	b.record(v) // want `concrete value converted to interface parameter \(boxing\)`
+}
+
+func (b *batch) record(v interface{}) { _ = v }

@@ -1,0 +1,50 @@
+// Package allocok is the clean counterpart: the amortized-allocation
+// idioms the hot paths actually use, all exempt. allocfree must
+// report nothing here.
+package allocok
+
+import "fmt"
+
+type req struct{ addr uint64 }
+
+type batch struct {
+	reqs []req
+	lazy *[8]uint64
+}
+
+// grow is the declared amortization boundary; it may allocate freely.
+//
+//alloc:cold grow-once capacity maintenance, amortized to 0 allocs/op
+func (b *batch) grow(n int) {
+	next := make([]req, len(b.reqs), n)
+	copy(next, b.reqs)
+	b.reqs = next
+}
+
+//alloc:free steady-state dispatch is proven 0 allocs/op by benchmark
+func (b *batch) Dispatch(addrs []uint64) error {
+	if cap(b.reqs) < len(b.reqs)+len(addrs) {
+		b.reqs = make([]req, len(b.reqs), 2*(len(b.reqs)+len(addrs))) // cap-guarded: exempt
+	}
+	if b.lazy == nil {
+		b.lazy = new([8]uint64) // nil-guarded lazy init: exempt
+	}
+	for _, a := range addrs {
+		b.reqs = append(b.reqs, req{addr: a}) // self-append: exempt
+		b.lazy[a%8]++
+	}
+	if err := b.flush(); err != nil {
+		return fmt.Errorf("dispatch: %w", err) // error path: exempt
+	}
+	b.grow(1024)           // behind the //alloc:cold boundary: not scanned
+	var scratch [16]uint64 // array value: stack, fine
+	_ = scratch
+	s := struct{ n int }{n: len(addrs)} // struct literal: stack, fine
+	_ = s
+	return nil
+}
+
+func (b *batch) flush() error {
+	b.reqs = b.reqs[:0]
+	return nil
+}

@@ -30,10 +30,10 @@ import (
 var wantRE = regexp.MustCompile("`([^`]*)`")
 
 type expectation struct {
-	file     string
-	line     int
-	pattern  *regexp.Regexp
-	matched  bool
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
 }
 
 // Run loads testdata/src/<fixture> relative to the test's working
@@ -42,6 +42,16 @@ type expectation struct {
 // comments. It returns the surviving diagnostics for any extra
 // assertions the caller wants to make.
 func Run(t *testing.T, analyzer *lintkit.Analyzer, fixture string) []lintkit.Diagnostic {
+	t.Helper()
+	return RunModule(t, analyzer, fixture)
+}
+
+// RunModule is Run for interprocedural analyzers: it loads every named
+// fixture package into one lintkit.Module (so the call graph spans all
+// of them), applies the analyzer to each package, and checks the
+// combined diagnostics against the want comments of every fixture. A
+// single fixture degenerates to Run's behavior.
+func RunModule(t *testing.T, analyzer *lintkit.Analyzer, fixtures ...string) []lintkit.Diagnostic {
 	t.Helper()
 	wd, err := os.Getwd()
 	if err != nil {
@@ -55,40 +65,50 @@ func Run(t *testing.T, analyzer *lintkit.Analyzer, fixture string) []lintkit.Dia
 		}
 		return "", false
 	})
-	pkg, err := loader.Load(fixture)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", fixture, err)
+	var pkgs []*lintkit.Package
+	for _, fixture := range fixtures {
+		pkg, err := loader.Load(fixture)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", fixture, err)
+		}
+		pkgs = append(pkgs, pkg)
 	}
+	mod := lintkit.NewModule(pkgs)
 
-	expects, err := parseExpectations(pkg.Dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	var expects []*expectation
+	var all []lintkit.Diagnostic
+	for _, pkg := range pkgs {
+		ex, err := parseExpectations(pkg.Dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expects = append(expects, ex...)
 
-	diags, err := lintkit.Run(pkg, []*lintkit.Analyzer{analyzer})
-	if err != nil {
-		t.Fatalf("running %s on %s: %v", analyzer.Name, fixture, err)
-	}
-
-	for _, d := range diags {
-		p := pkg.Fset.Position(d.Pos)
-		ok := false
-		for _, e := range expects {
-			if e.file == p.Filename && e.line == p.Line && e.pattern.MatchString(d.Message) {
-				e.matched = true
-				ok = true
+		diags, err := lintkit.RunModule(mod, pkg, []*lintkit.Analyzer{analyzer})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", analyzer.Name, pkg.ImportPath, err)
+		}
+		for _, d := range diags {
+			p := pkg.Fset.Position(d.Pos)
+			ok := false
+			for _, e := range expects {
+				if e.file == p.Filename && e.line == p.Line && e.pattern.MatchString(d.Message) {
+					e.matched = true
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("%s:%d: unexpected diagnostic [%s] %s", p.Filename, p.Line, d.Analyzer, d.Message)
 			}
 		}
-		if !ok {
-			t.Errorf("%s:%d: unexpected diagnostic [%s] %s", p.Filename, p.Line, d.Analyzer, d.Message)
-		}
+		all = append(all, diags...)
 	}
 	for _, e := range expects {
 		if !e.matched {
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
 		}
 	}
-	return diags
+	return all
 }
 
 // parseExpectations scans every .go file in dir for want comments.

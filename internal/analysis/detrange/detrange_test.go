@@ -15,3 +15,10 @@ func TestDeterminism(t *testing.T) {
 		t.Errorf("got %d diagnostics, want 3 (map range, time.Now, rand.Intn)", len(diags))
 	}
 }
+
+// TestCrossPackage: a deterministic package calling an out-of-scope
+// helper that transitively reaches time.Now or the global rand source
+// is a finding at the call site; calls to clean helpers are not.
+func TestCrossPackage(t *testing.T) {
+	analysistest.RunModule(t, detrange.Analyzer, "detcross", "detclock")
+}

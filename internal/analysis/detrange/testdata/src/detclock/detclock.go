@@ -1,0 +1,28 @@
+// Package detclock is the out-of-scope helper: it is never analyzed
+// by detrange itself (out of scope), so its wall-clock and global-rand
+// reads surface only at cross-package call sites.
+package detclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reaches time.Now through one more hop.
+func Stamp() int64 {
+	return stamp()
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in simulator code`
+}
+
+// Jitter draws from the global math/rand source.
+func Jitter() int64 {
+	return rand.Int63() // want `rand\.Int63 draws from the global math/rand source`
+}
+
+// Pure is deterministic; calls to it must stay clean.
+func Pure(n int) int64 {
+	return int64(n * 2)
+}

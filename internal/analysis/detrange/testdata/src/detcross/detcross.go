@@ -1,0 +1,16 @@
+// Package detcross models a deterministic package leaning on an
+// out-of-scope helper package that reads the wall clock two calls
+// down — invisible to the per-package check, caught by the
+// interprocedural one.
+package detcross
+
+import "detclock"
+
+// Run feeds counters, so this package is in the deterministic scope.
+func Run(n int) int64 {
+	total := int64(n)
+	total += detclock.Stamp()  // want `cross-package call to detclock\.Stamp reaches time\.Now`
+	total += detclock.Jitter() // want `cross-package call to detclock\.Jitter reaches rand\.Int63`
+	total += detclock.Pure(n)  // clean helper: no finding
+	return total
+}

@@ -1,0 +1,424 @@
+// Interprocedural layer: a module-local call graph plus reachability
+// from declared entry points.
+//
+// The per-file analyzers that seeded simlint (hotdiv, ctrmut, ...)
+// check one package at a time, which is exactly the blind spot the
+// repo's two shipped data races exploited: the racing write lived in a
+// helper several calls below the concurrent entry point, in code no
+// single-file rule could connect to it. A Module closes that gap. It
+// holds every loaded package of one Go module, a conservative static
+// call graph over all of them, and the inventory of marker-declared
+// functions — so an analyzer can ask "is this assignment reachable
+// from a declared hot entry point?" across package boundaries.
+//
+// # Entry-point declaration syntax
+//
+// Entry points are declared in source, next to the function they
+// describe, with a marker directive in the function's doc comment (or
+// on the declaration line):
+//
+//	//hot:entry sweep workers drive controllers of this type concurrently
+//	func (c *Controller) LLCScatter(reqs []Req) { ... }
+//
+// The marker name is analyzer-defined ("hot:entry" for shardsafe,
+// "alloc:free" and "alloc:cold" for allocfree); the trailing text is a
+// mandatory human-readable reason, so a declaration reads as a
+// contract, not an incantation. Marker directives are contract
+// declarations that *widen* what the analyzers check; they are not
+// suppressions, and the hot-quartet zero-suppression guarantee
+// deliberately permits them.
+//
+// # Conservatism
+//
+// The graph resolves direct calls, method calls through concrete
+// receivers, interface method calls (to every module method that
+// implements the interface), and bare function-value references (a
+// function whose value escapes is assumed callable). Calls through
+// stored function fields and out-of-module callbacks are not resolved;
+// analyzers that need those edges declare the callee an entry point
+// directly, which is why sweep's job body carries its own //hot:entry
+// instead of relying on an edge through engine.Job.Run.
+package lintkit
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Module is a set of loaded packages analyzed as one unit, with the
+// call graph over all of them.
+type Module struct {
+	// Packages in load order.
+	Packages []*Package
+
+	byPath map[string]*Package
+	// Graph is the module-local call graph.
+	Graph *CallGraph
+}
+
+// A CallGraph maps every declared function or method in the module to
+// the module-local functions it may call.
+type CallGraph struct {
+	callees map[*types.Func][]*types.Func
+	decls   map[*types.Func]*ast.FuncDecl
+	pkgOf   map[*types.Func]*Package
+}
+
+// NewModule builds the module view (including the call graph) over the
+// given packages. All packages must come from the same Loader so type
+// objects are shared.
+func NewModule(pkgs []*Package) *Module {
+	m := &Module{Packages: pkgs, byPath: map[string]*Package{}}
+	for _, p := range pkgs {
+		m.byPath[p.ImportPath] = p
+	}
+	m.Graph = buildCallGraph(pkgs)
+	return m
+}
+
+// Package returns the loaded package with the given import path, or
+// nil when the path is outside the module view.
+func (m *Module) Package(path string) *Package { return m.byPath[path] }
+
+// PackageFor returns the loaded package that declares obj, or nil for
+// objects outside the module view (standard library, universe).
+func (m *Module) PackageFor(obj types.Object) *Package {
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	return m.byPath[obj.Pkg().Path()]
+}
+
+// FuncDecl returns the declaration of fn and the package holding it,
+// or nil when fn was not declared in the module view.
+func (m *Module) FuncDecl(fn *types.Func) (*ast.FuncDecl, *Package) {
+	return m.Graph.decls[fn], m.Graph.pkgOf[fn]
+}
+
+// Funcs returns every function and method declared in the module, in
+// a deterministic (position) order.
+func (m *Module) Funcs() []*types.Func {
+	out := make([]*types.Func, 0, len(m.Graph.decls))
+	for fn := range m.Graph.decls {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if pi, pj := out[i].Pkg().Path(), out[j].Pkg().Path(); pi != pj {
+			return pi < pj
+		}
+		return out[i].Pos() < out[j].Pos()
+	})
+	return out
+}
+
+// FuncMarked reports whether fn's declaration carries the marker
+// directive (a comment line starting with "//<marker>") in its doc
+// comment or trailing on the declaration line.
+func (m *Module) FuncMarked(fn *types.Func, marker string) bool {
+	fd, pkg := m.FuncDecl(fn)
+	if fd == nil {
+		return false
+	}
+	if hasDirective(fd.Doc, marker) {
+		return true
+	}
+	// Trailing form on the func line, for one-line declarations.
+	return LineDirective(pkg.Fset, pkg.Files, fd.Pos(), "//"+marker)
+}
+
+// MarkedFuncs returns every function in the module whose declaration
+// carries the marker directive, in deterministic order.
+func (m *Module) MarkedFuncs(marker string) []*types.Func {
+	var out []*types.Func
+	for _, fn := range m.Funcs() {
+		if m.FuncMarked(fn, marker) {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether the comment group has a line whose text
+// begins with "//<marker>" (no space between // and the marker, the
+// standard Go directive form).
+func hasDirective(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if rest, ok := strings.CutPrefix(c.Text, "//"+marker); ok {
+			if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Callees returns the module-local functions fn may call, in source
+// order of the first call site.
+func (g *CallGraph) Callees(fn *types.Func) []*types.Func { return g.callees[fn] }
+
+// Decl returns the AST declaration of fn, or nil for functions outside
+// the module.
+func (g *CallGraph) Decl(fn *types.Func) *ast.FuncDecl { return g.decls[fn] }
+
+// Reachable walks the graph from the entry set and returns the set of
+// reachable functions, each mapped to its BFS predecessor (entries map
+// to themselves). The predecessor chain renders a human-readable
+// witness path for diagnostics.
+func (g *CallGraph) Reachable(entries []*types.Func) map[*types.Func]*types.Func {
+	parent := map[*types.Func]*types.Func{}
+	queue := make([]*types.Func, 0, len(entries))
+	for _, e := range entries {
+		if e == nil || parent[e] != nil {
+			continue
+		}
+		parent[e] = e
+		queue = append(queue, e)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range g.callees[fn] {
+			if parent[callee] != nil {
+				continue
+			}
+			parent[callee] = fn
+			queue = append(queue, callee)
+		}
+	}
+	return parent
+}
+
+// ReachableFiltered is Reachable with a stop predicate: functions for
+// which stop returns true are not expanded (their callees are not
+// visited through them). The allocfree analyzer uses this to cut
+// reachability at declared //alloc:cold boundaries.
+func (g *CallGraph) ReachableFiltered(entries []*types.Func, stop func(*types.Func) bool) map[*types.Func]*types.Func {
+	parent := map[*types.Func]*types.Func{}
+	var queue []*types.Func
+	for _, e := range entries {
+		if e == nil || parent[e] != nil {
+			continue
+		}
+		parent[e] = e
+		queue = append(queue, e)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if stop != nil && stop(fn) {
+			continue
+		}
+		for _, callee := range g.callees[fn] {
+			if parent[callee] != nil {
+				continue
+			}
+			parent[callee] = fn
+			queue = append(queue, callee)
+		}
+	}
+	return parent
+}
+
+// WitnessPath renders "a -> b -> c" from entry to fn using the parent
+// map returned by Reachable. Names are qualified relative to pkg.
+func WitnessPath(parent map[*types.Func]*types.Func, fn *types.Func) string {
+	var chain []string
+	for cur := fn; ; {
+		chain = append(chain, FuncDisplayName(cur))
+		next := parent[cur]
+		if next == nil || next == cur {
+			break
+		}
+		cur = next
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return strings.Join(chain, " -> ")
+}
+
+// WitnessEntry returns the entry point that reaches fn in the parent
+// map (the root of fn's predecessor chain).
+func WitnessEntry(parent map[*types.Func]*types.Func, fn *types.Func) *types.Func {
+	for cur := fn; ; {
+		next := parent[cur]
+		if next == nil || next == cur {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// FuncDisplayName renders fn as pkgname.Func or pkgname.(Type).Method.
+func FuncDisplayName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			name = "(" + n.Obj().Name() + ")." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// methodInfo indexes one declared method for interface resolution.
+type methodInfo struct {
+	fn   *types.Func
+	recv types.Type // receiver type as declared (possibly pointer)
+}
+
+// buildCallGraph constructs the conservative static call graph.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		callees: map[*types.Func][]*types.Func{},
+		decls:   map[*types.Func]*ast.FuncDecl{},
+		pkgOf:   map[*types.Func]*Package{},
+	}
+
+	// Pass 1: index declarations and methods.
+	var methods []methodInfo
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.decls[fn] = fd
+				g.pkgOf[fn] = pkg
+				if sig := fn.Type().(*types.Signature); sig.Recv() != nil {
+					methods = append(methods, methodInfo{fn: fn, recv: sig.Recv().Type()})
+				}
+			}
+		}
+	}
+
+	inModule := func(fn *types.Func) bool { return g.decls[fn] != nil }
+
+	// Pass 2: edges.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				caller, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				seen := map[*types.Func]bool{}
+				addEdge := func(callee *types.Func) {
+					if callee == nil || !inModule(callee) || seen[callee] {
+						return
+					}
+					seen[callee] = true
+					g.callees[caller] = append(g.callees[caller], callee)
+				}
+				// Identify expressions in call-function position, so a
+				// bare function reference (value escape) can be told
+				// apart from a call.
+				callFuns := map[ast.Expr]bool{}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if ce, ok := n.(*ast.CallExpr); ok {
+						callFuns[ce.Fun] = true
+					}
+					return true
+				})
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch e := n.(type) {
+					case *ast.CallExpr:
+						for _, callee := range resolveCall(pkg, e, methods) {
+							addEdge(callee)
+						}
+					case *ast.Ident:
+						if callFuns[e] {
+							return true
+						}
+						if fn, ok := pkg.Info.Uses[e].(*types.Func); ok {
+							// Function value reference: assume callable.
+							addEdge(fn)
+						}
+					case *ast.SelectorExpr:
+						if callFuns[e] {
+							// Still descend: the receiver expression may
+							// itself reference functions.
+							return true
+						}
+						if fn, ok := pkg.Info.Uses[e.Sel].(*types.Func); ok {
+							addEdge(fn)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+// resolveCall returns the module functions a call expression may
+// invoke: the static callee for direct and concrete-method calls, or
+// every implementing module method for an interface method call.
+func resolveCall(pkg *Package, ce *ast.CallExpr, methods []methodInfo) []*types.Func {
+	switch fun := ast.Unparen(ce.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return []*types.Func{fn}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+				return implementers(iface, fn.Name(), methods)
+			}
+			return []*types.Func{fn}
+		}
+		// Qualified call (pkgname.Func) or method expression.
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return []*types.Func{fn}
+		}
+	}
+	return nil
+}
+
+// implementers returns every module method named name whose receiver
+// type satisfies iface.
+func implementers(iface *types.Interface, name string, methods []methodInfo) []*types.Func {
+	var out []*types.Func
+	for _, m := range methods {
+		if m.fn.Name() != name {
+			continue
+		}
+		if types.Implements(m.recv, iface) {
+			out = append(out, m.fn)
+			continue
+		}
+		// A value receiver also serves pointer callers; check the
+		// pointer type when the declared receiver is a value.
+		if _, isPtr := m.recv.(*types.Pointer); !isPtr {
+			if types.Implements(types.NewPointer(m.recv), iface) {
+				out = append(out, m.fn)
+			}
+		}
+	}
+	return out
+}

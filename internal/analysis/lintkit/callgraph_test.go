@@ -1,0 +1,201 @@
+package lintkit_test
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twolm/internal/analysis/lintkit"
+)
+
+// loadModule writes the files (path -> source, relative to the module
+// root) as a module named tmp and loads every package into a Module.
+func loadModule(t *testing.T, files map[string]string) *lintkit.Module {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := lintkit.DiscoverModule(dir, "tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := lintkit.NewModuleLoader(dir, "tmp")
+	var pkgs []*lintkit.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return lintkit.NewModule(pkgs)
+}
+
+// fn looks a function up by its display name (pkg.Func or
+// pkg.(Type).Method).
+func fn(t *testing.T, m *lintkit.Module, display string) *types.Func {
+	t.Helper()
+	for _, f := range m.Funcs() {
+		if lintkit.FuncDisplayName(f) == display {
+			return f
+		}
+	}
+	t.Fatalf("function %q not found in module", display)
+	return nil
+}
+
+func TestCallGraphDirectAndCrossPackage(t *testing.T) {
+	m := loadModule(t, map[string]string{
+		"a.go": `package a
+
+import "tmp/b"
+
+//hot:entry declared entry for the reachability test
+func Entry() { step() }
+
+func step() { b.Helper() }
+
+func unrelated() {}
+`,
+		"b/b.go": `package b
+
+func Helper() { leaf() }
+
+func leaf() {}
+`,
+	})
+	entries := m.MarkedFuncs("hot:entry")
+	if len(entries) != 1 || entries[0].Name() != "Entry" {
+		t.Fatalf("MarkedFuncs = %v, want [Entry]", entries)
+	}
+	reach := m.Graph.Reachable(entries)
+	for _, name := range []string{"a.Entry", "a.step", "b.Helper", "b.leaf"} {
+		if reach[fn(t, m, name)] == nil {
+			t.Errorf("%s not reachable from Entry", name)
+		}
+	}
+	if reach[fn(t, m, "a.unrelated")] != nil {
+		t.Error("unrelated reachable from Entry")
+	}
+
+	leaf := fn(t, m, "b.leaf")
+	if got := lintkit.WitnessPath(reach, leaf); got != "a.Entry -> a.step -> b.Helper -> b.leaf" {
+		t.Errorf("WitnessPath = %q", got)
+	}
+	if e := lintkit.WitnessEntry(reach, leaf); e != entries[0] {
+		t.Errorf("WitnessEntry = %v, want Entry", e)
+	}
+}
+
+func TestCallGraphMethodsAndClosures(t *testing.T) {
+	m := loadModule(t, map[string]string{
+		"a.go": `package a
+
+type T struct{ n int }
+
+func (t *T) Launch() {
+	go func() { t.work() }()
+}
+
+func (t *T) work() { t.n++ }
+
+func UseValue() {
+	f := helper // bare function reference: assumed callable
+	_ = f
+}
+
+func helper() {}
+`,
+	})
+	reach := m.Graph.Reachable([]*types.Func{fn(t, m, "a.(T).Launch")})
+	if reach[fn(t, m, "a.(T).work")] == nil {
+		t.Error("method called from a goroutine closure not attributed to the launcher")
+	}
+	reach = m.Graph.Reachable([]*types.Func{fn(t, m, "a.UseValue")})
+	if reach[fn(t, m, "a.helper")] == nil {
+		t.Error("function value reference should create a conservative call edge")
+	}
+}
+
+func TestCallGraphInterfaceResolution(t *testing.T) {
+	m := loadModule(t, map[string]string{
+		"a.go": `package a
+
+type Doer interface{ Do() }
+
+type Impl struct{}
+
+func (Impl) Do() { target() }
+
+type PtrImpl struct{}
+
+func (*PtrImpl) Do() {}
+
+func target() {}
+
+func Drive(d Doer) { d.Do() }
+`,
+	})
+	reach := m.Graph.Reachable([]*types.Func{fn(t, m, "a.Drive")})
+	if reach[fn(t, m, "a.(Impl).Do")] == nil {
+		t.Error("value-receiver implementation not resolved for interface call")
+	}
+	if reach[fn(t, m, "a.(PtrImpl).Do")] == nil {
+		t.Error("pointer-receiver implementation not resolved for interface call")
+	}
+	if reach[fn(t, m, "a.target")] == nil {
+		t.Error("callee of an interface implementation not transitively reachable")
+	}
+}
+
+func TestReachableFilteredStopsAtBoundary(t *testing.T) {
+	m := loadModule(t, map[string]string{
+		"a.go": `package a
+
+//alloc:free hot entry
+func Hot() { cold() }
+
+//alloc:cold constructs scratch once
+func cold() { deep() }
+
+func deep() {}
+`,
+	})
+	entries := m.MarkedFuncs("alloc:free")
+	coldSet := map[*types.Func]bool{}
+	for _, f := range m.MarkedFuncs("alloc:cold") {
+		coldSet[f] = true
+	}
+	reach := m.Graph.ReachableFiltered(entries, func(f *types.Func) bool { return coldSet[f] })
+	if reach[fn(t, m, "a.cold")] == nil {
+		t.Error("cold boundary function itself should be visited (and markable)")
+	}
+	if reach[fn(t, m, "a.deep")] != nil {
+		t.Error("functions behind an //alloc:cold boundary must not be reachable")
+	}
+}
+
+func TestFuncMarkedTrailingForm(t *testing.T) {
+	m := loadModule(t, map[string]string{
+		"a.go": `package a
+
+func One() {} //hot:entry trailing declaration form
+
+func Two() {}
+`,
+	})
+	if !m.FuncMarked(fn(t, m, "a.One"), "hot:entry") {
+		t.Error("trailing-form marker not detected")
+	}
+	if m.FuncMarked(fn(t, m, "a.Two"), "hot:entry") {
+		t.Error("unmarked function reported as marked")
+	}
+}

@@ -49,6 +49,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Module is the whole-module view backing interprocedural
+	// analyzers: every loaded package plus the call graph. Always
+	// non-nil; when a caller analyzes a single package in isolation
+	// the module degenerates to that one package.
+	Module *Module
+
 	diags *[]Diagnostic
 }
 
@@ -81,10 +87,39 @@ type Diagnostic struct {
 type ignoreDirective struct {
 	pos       token.Pos
 	file      string
-	line      int  // source line the directive text sits on
+	line      int // source line the directive text sits on
 	analyzers map[string]bool
+	names     []string // analyzer names in written order
+	reason    string
 	malformed string // non-empty: why the directive could not be parsed
 	used      bool
+}
+
+// DirectiveInfo is one //lint:ignore directive as the module-wide
+// suppression inventory reports it.
+type DirectiveInfo struct {
+	File      string
+	Line      int
+	Analyzers []string // names in written order; empty when malformed
+	Reason    string
+	Malformed string // non-empty: why the directive could not be parsed
+}
+
+// FileDirectives returns every //lint:ignore directive in f, in
+// source order. The suppressions report (cmd/simlint -suppressions)
+// builds the auditable module inventory from this.
+func FileDirectives(fset *token.FileSet, f *ast.File) []DirectiveInfo {
+	var out []DirectiveInfo
+	for _, d := range parseDirectives(fset, f) {
+		out = append(out, DirectiveInfo{
+			File:      d.file,
+			Line:      d.line,
+			Analyzers: d.names,
+			Reason:    d.reason,
+			Malformed: d.malformed,
+		})
+	}
+	return out
 }
 
 // parseDirectives extracts //lint:ignore directives from a file's
@@ -110,9 +145,11 @@ func parseDirectives(fset *token.FileSet, f *ast.File) []*ignoreDirective {
 				d.malformed = fmt.Sprintf("suppressing %q without a reason; the reason is mandatory so exceptions stay auditable", fields[0])
 			default:
 				d.analyzers = map[string]bool{}
-				for _, name := range strings.Split(fields[0], ",") {
+				d.names = strings.Split(fields[0], ",")
+				for _, name := range d.names {
 					d.analyzers[name] = true
 				}
+				d.reason = strings.Join(fields[1:], " ")
 			}
 			out = append(out, d)
 		}
@@ -124,21 +161,20 @@ func parseDirectives(fset *token.FileSet, f *ast.File) []*ignoreDirective {
 // //lint:ignore suppression discipline, and returns the surviving
 // diagnostics sorted by position. Malformed and unused directives are
 // reported under the pseudo-analyzer name "lintdirective" so that a
-// suppression can never rot silently.
+// suppression can never rot silently. The module view degenerates to
+// the single package; interprocedural analyzers see only pkg.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var raw []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-			diags:     &raw,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
-		}
+	return RunModule(NewModule([]*Package{pkg}), pkg, analyzers)
+}
+
+// RunModule is Run with an explicit whole-module view, so
+// interprocedural analyzers can trace reachability across package
+// boundaries. pkg is the package diagnostics are reported for and must
+// be one of mod's packages.
+func RunModule(mod *Module, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	raw, err := rawDiagnostics(mod, pkg, analyzers)
+	if err != nil {
+		return nil, err
 	}
 
 	var directives []*ignoreDirective
@@ -202,6 +238,18 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // would hide. The hot-package guarantee test uses this to prove the
 // four hot packages are clean outright, not clean-via-suppression.
 func RawDiagnostics(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RawDiagnosticsModule(NewModule([]*Package{pkg}), pkg, analyzers)
+}
+
+// RawDiagnosticsModule is RawDiagnostics with an explicit whole-module
+// view for interprocedural analyzers.
+func RawDiagnosticsModule(mod *Module, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return rawDiagnostics(mod, pkg, analyzers)
+}
+
+// rawDiagnostics runs the analyzers over pkg with the module view
+// attached, applying no suppression.
+func rawDiagnostics(mod *Module, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var raw []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -210,6 +258,7 @@ func RawDiagnostics(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Module:    mod,
 			diags:     &raw,
 		}
 		if err := a.Run(pass); err != nil {

@@ -1,0 +1,38 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"twolm/internal/analysis/analysistest"
+	"twolm/internal/analysis/shardsafe"
+)
+
+// TestTouchSinkRegression is the PR 7 race, reproduced as a failing
+// fixture: the analyzer must flag the package-level touch sink written
+// two calls below the hot entry point.
+func TestTouchSinkRegression(t *testing.T) {
+	diags := analysistest.Run(t, shardsafe.Analyzer, "touchsink")
+	if len(diags) == 0 {
+		t.Fatal("touchsink fixture produced no diagnostics: the PR 7 race would ship again")
+	}
+}
+
+// TestShardedRegression is the PR 4 race: goroutine-written shards
+// observed without a lock, in both the no-mutex and leaky-accessor
+// shapes.
+func TestShardedRegression(t *testing.T) {
+	diags := analysistest.Run(t, shardsafe.Analyzer, "sharded")
+	if len(diags) < 2 {
+		t.Fatalf("sharded fixture produced %d diagnostics, want the missing-mutex and unlocked-accessor findings", len(diags))
+	}
+}
+
+func TestCleanPackage(t *testing.T) {
+	analysistest.Run(t, shardsafe.Analyzer, "shardok")
+}
+
+// TestCrossPackage proves reachability crosses package boundaries: the
+// entry lives in crossentry, the racy write in crosshelper.
+func TestCrossPackage(t *testing.T) {
+	analysistest.RunModule(t, shardsafe.Analyzer, "crossentry", "crosshelper")
+}

@@ -1,0 +1,10 @@
+// Package crossentry declares the hot entry point whose reachability
+// crosses into crosshelper.
+package crossentry
+
+import "crosshelper"
+
+//hot:entry concurrent jobs call Run on pooled state
+func Run() {
+	crosshelper.Bump()
+}

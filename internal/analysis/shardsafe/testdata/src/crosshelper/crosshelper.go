@@ -1,0 +1,12 @@
+// Package crosshelper holds the shared accumulator a hot entry point
+// in another package reaches — the cross-package blind spot the
+// interprocedural layer exists to close.
+package crosshelper
+
+var total int
+
+// Bump is only dangerous because crossentry.Run is hot; nothing in
+// this package alone says so.
+func Bump() {
+	total++ // want `hot path writes package-level var total \(crossentry\.Run -> crosshelper\.Bump\)`
+}

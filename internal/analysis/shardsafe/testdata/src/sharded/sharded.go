@@ -1,0 +1,109 @@
+// Package sharded models the PR 4 engine.Sharded observation race:
+// ReplayParallel's workers mutate per-channel controllers behind
+// s.shards while an unlocked observer walks the same slice from
+// another goroutine. Unlocked is the pre-fix shape (no mutex at all);
+// Locked has the mutex but leaks one unlocked accessor.
+package sharded
+
+import "sync"
+
+// Counters is a toy counter block.
+type Counters struct{ Reads, Writes uint64 }
+
+// ctrl models one per-channel controller.
+type ctrl struct{ ctr Counters }
+
+func (c *ctrl) replay(ops []uint64) {
+	for range ops {
+		c.ctr.Reads++
+	}
+}
+
+// Unlocked is the pre-fix Sharded: goroutines write the controllers
+// behind shards and nothing guards the observers.
+type Unlocked struct { // want `goroutines launched in sharded\.\(Unlocked\)\.ReplayParallel write field\(s\) shards of Unlocked, but the type has no sync\.Mutex`
+	shards []*ctrl
+}
+
+//hot:entry suites replay concurrently with observers
+func (s *Unlocked) ReplayParallel(ops []uint64) {
+	var wg sync.WaitGroup
+	for w := range s.shards {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := s.shards[w]
+			c.replay(ops)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Counters is the racy observer that shipped: it walks shards with no
+// synchronization anywhere in the type.
+func (s *Unlocked) Counters() Counters {
+	var t Counters
+	for _, c := range s.shards {
+		t.Reads += c.ctr.Reads
+		t.Writes += c.ctr.Writes
+	}
+	return t
+}
+
+// Locked is the post-fix shape — except Shard, which hands out a
+// live controller without taking the lock.
+type Locked struct {
+	mu     sync.Mutex
+	shards []*ctrl
+}
+
+//hot:entry suites replay concurrently with observers
+func (l *Locked) ReplayParallel(ops []uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var wg sync.WaitGroup
+	for w := range l.shards {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			l.shards[w].replay(ops)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Counters locks: fine.
+func (l *Locked) Counters() Counters {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var t Counters
+	for _, c := range l.shards {
+		t.Reads += c.ctr.Reads
+	}
+	return t
+}
+
+// Snapshot delegates to a locking helper: also fine.
+func (l *Locked) Snapshot() []Counters {
+	return l.snapshotLocked()
+}
+
+func (l *Locked) snapshotLocked() []Counters {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Counters, len(l.shards))
+	for i, c := range l.shards {
+		out[i] = c.ctr
+	}
+	return out
+}
+
+// Channels only reads the slice header: exempt.
+func (l *Locked) Channels() int {
+	return len(l.shards)
+}
+
+// Shard leaks an unguarded view of a goroutine-written field.
+func (l *Locked) Shard(i int) *ctrl { // want `sharded\.\(Locked\)\.Shard touches field\(s\) shards, written by goroutines launched in sharded\.\(Locked\)\.ReplayParallel, without acquiring mu`
+	return l.shards[i]
+}

@@ -1,0 +1,58 @@
+// Package shardok is the clean counterpart: receiver-confined state,
+// atomics, guarded declarations, and a fully locked sharded type.
+// shardsafe must report nothing here.
+package shardok
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// table is a read-only lookup initialized at package init; hot paths
+// only read it, which is fine.
+var table = [4]uint64{1, 2, 4, 8}
+
+var inFlight atomic.Int64
+
+type worker struct{ sum uint64 }
+
+func (w *worker) step(v uint64) { w.sum += v }
+
+// Pool is a correctly locked goroutine-sharing type.
+type Pool struct {
+	mu      sync.Mutex
+	workers []*worker
+}
+
+//hot:entry drives all workers concurrently
+func (p *Pool) Run(ops []uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inFlight.Add(1)
+	var wg sync.WaitGroup
+	for i := range p.workers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, v := range ops {
+				p.workers[i].step(table[v%4])
+			}
+		}(i)
+	}
+	wg.Wait()
+	inFlight.Add(-1)
+}
+
+// Sum locks before reading what the goroutines wrote.
+func (p *Pool) Sum() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var t uint64
+	for _, w := range p.workers {
+		t += w.sum
+	}
+	return t
+}
+
+// Size reads only the slice header.
+func (p *Pool) Size() int { return len(p.workers) }

@@ -1,0 +1,57 @@
+// Package touchsink models the PR 7 LLCScatter race: the MLP touch
+// pass summed into a package-level sink shared by every controller,
+// so concurrent sweep workers raced on it. The racing write sits two
+// calls below the hot entry point — only an interprocedural check can
+// connect them.
+package touchsink
+
+import "sync/atomic"
+
+// touchSink is the bug: one accumulator shared by every controller.
+var touchSink uint64
+
+// opsTotal is fine: atomics synchronize themselves.
+var opsTotal atomic.Uint64
+
+// legacyOps is fine too, as long as it is only touched through
+// sync/atomic calls.
+var legacyOps uint64
+
+//shardsafe:guarded test-only debug accumulator, never read during concurrent runs
+var debugSeeds [4]uint64
+
+// Controller models one pooled cache controller.
+type Controller struct {
+	tags []uint64
+}
+
+//hot:entry sweep workers drive pooled controllers of this type concurrently
+func (c *Controller) LLCScatter(reqs []uint64) {
+	for _, r := range reqs {
+		c.dispatch(r)
+	}
+}
+
+func (c *Controller) dispatch(r uint64) {
+	var touch uint64
+	for _, t := range c.tags {
+		touch += t ^ r
+	}
+	touchSink += touch // want `hot path writes package-level var touchSink`
+}
+
+//hot:entry observers may run while controllers are live
+func Escape() *uint64 {
+	return &touchSink // want `hot path takes the address of package-level var touchSink`
+}
+
+//hot:entry atomic counters are safe to share across controllers
+func Count() {
+	opsTotal.Add(1)
+	atomic.AddUint64(&legacyOps, 1)
+}
+
+//hot:entry guarded declarations are audited exceptions
+func Seed(i int, v uint64) {
+	debugSeeds[i] = v
+}

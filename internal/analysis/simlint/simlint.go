@@ -15,21 +15,41 @@
 //   - counterdrift runs where Counters and its aggregators live (imc,
 //     engine);
 //   - ctrmut and resetcheck are whole-module rules: ad-hoc counter
-//     mutation or reversed snapshot deltas are wrong anywhere.
+//     mutation or reversed snapshot deltas are wrong anywhere;
+//   - shardsafe and allocfree are whole-module rules too — their
+//     scoping is declared in source (//hot:entry, //alloc:free), and
+//     reachability from those declarations crosses package borders,
+//     so every package must be able to report its own findings.
+//
+// Check and CheckRaw load the whole module before analyzing anything:
+// the interprocedural analyzers (shardsafe, allocfree, cross-package
+// detrange) need the full call graph even when the caller asks about
+// a single package.
 package simlint
 
 import (
 	"fmt"
 	"go/token"
+	"path/filepath"
 	"strings"
 
+	"twolm/internal/analysis/allocfree"
 	"twolm/internal/analysis/counterdrift"
 	"twolm/internal/analysis/ctrmut"
 	"twolm/internal/analysis/detrange"
 	"twolm/internal/analysis/hotdiv"
 	"twolm/internal/analysis/lintkit"
 	"twolm/internal/analysis/resetcheck"
+	"twolm/internal/analysis/shardsafe"
 )
+
+func init() {
+	// The cross-package detrange check skips callees that answer for
+	// their own determinism; hand it the registry's scope.
+	detrange.InScope = func(p string) bool {
+		return deterministicPackages[NormalizeImportPath(p)]
+	}
+}
 
 // A Rule pairs an analyzer with the set of packages it applies to.
 type Rule struct {
@@ -92,6 +112,8 @@ func Rules() []Rule {
 		{detrange.Analyzer, func(p string) bool { return deterministicPackages[p] }},
 		{ctrmut.Analyzer, inModule},
 		{resetcheck.Analyzer, inModule},
+		{shardsafe.Analyzer, inModule},
+		{allocfree.Analyzer, inModule},
 	}
 }
 
@@ -128,22 +150,65 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
 }
 
+// LoadModule loads every package of the module rooted at root into
+// one lintkit.Module — the whole-module view the interprocedural
+// analyzers require.
+func LoadModule(root, modulePath string) (*lintkit.Module, error) {
+	paths, err := lintkit.DiscoverModule(root, modulePath)
+	if err != nil {
+		return nil, err
+	}
+	loader := lintkit.NewModuleLoader(root, modulePath)
+	var pkgs []*lintkit.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return lintkit.NewModule(pkgs), nil
+}
+
 // Check loads and analyzes the given module packages (import paths)
 // with suppression directives honored, returning all surviving
-// findings sorted per package. root is the module root directory.
+// findings sorted per package. root is the module root directory. The
+// whole module is loaded regardless of which packages are requested:
+// reachability from //hot:entry and //alloc:free declarations crosses
+// package borders.
 func Check(root, modulePath string, importPaths []string) ([]Finding, error) {
-	loader := lintkit.NewModuleLoader(root, modulePath)
+	return check(root, modulePath, importPaths, false)
+}
+
+// CheckRaw is Check with suppression disabled: every violation is
+// returned even if a //lint:ignore directive covers it. The guarantee
+// test uses this to prove the hot quartet is clean without
+// exceptions.
+func CheckRaw(root, modulePath string, importPaths []string) ([]Finding, error) {
+	return check(root, modulePath, importPaths, true)
+}
+
+func check(root, modulePath string, importPaths []string, raw bool) ([]Finding, error) {
+	mod, err := LoadModule(root, modulePath)
+	if err != nil {
+		return nil, err
+	}
 	var out []Finding
 	for _, path := range importPaths {
 		analyzers := AnalyzersFor(path)
 		if len(analyzers) == 0 {
 			continue
 		}
-		pkg, err := loader.Load(path)
-		if err != nil {
-			return nil, err
+		pkg := mod.Package(NormalizeImportPath(path))
+		if pkg == nil {
+			return nil, fmt.Errorf("simlint: package %s is not part of module %s", path, modulePath)
 		}
-		diags, err := lintkit.Run(pkg, analyzers)
+		var diags []lintkit.Diagnostic
+		if raw {
+			diags, err = lintkit.RawDiagnosticsModule(mod, pkg, analyzers)
+		} else {
+			diags, err = lintkit.RunModule(mod, pkg, analyzers)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -158,32 +223,50 @@ func Check(root, modulePath string, importPaths []string) ([]Finding, error) {
 	return out, nil
 }
 
-// CheckRaw is Check with suppression disabled: every violation is
-// returned even if a //lint:ignore directive covers it. The guarantee
-// test uses this to prove the hot quartet is clean without
-// exceptions.
-func CheckRaw(root, modulePath string, importPaths []string) ([]Finding, error) {
-	loader := lintkit.NewModuleLoader(root, modulePath)
-	var out []Finding
-	for _, path := range importPaths {
-		analyzers := AnalyzersFor(path)
-		if len(analyzers) == 0 {
-			continue
-		}
-		pkg, err := loader.Load(path)
-		if err != nil {
-			return nil, err
-		}
-		diags, err := lintkit.RawDiagnostics(pkg, analyzers)
-		if err != nil {
-			return nil, err
-		}
-		for _, d := range diags {
-			out = append(out, Finding{
-				Position: pkg.Fset.Position(d.Pos),
-				Analyzer: d.Analyzer,
-				Message:  d.Message,
-			})
+// A Suppression is one //lint:ignore directive somewhere in the
+// module's non-test sources, as reported by cmd/simlint -suppressions.
+type Suppression struct {
+	File      string // path relative to the module root
+	Line      int
+	Analyzers []string // names in written order; empty when malformed
+	Reason    string
+}
+
+func (s Suppression) String() string {
+	names := strings.Join(s.Analyzers, ",")
+	if names == "" {
+		names = "(malformed)"
+	}
+	return fmt.Sprintf("%s:%d: %s: %s", s.File, s.Line, names, s.Reason)
+}
+
+// Suppressions inventories every //lint:ignore directive in the
+// module, in deterministic (file, line) order. The guarantee test
+// pins the count so a new suppression is always a deliberate diff.
+func Suppressions(root, modulePath string) ([]Suppression, error) {
+	mod, err := LoadModule(root, modulePath)
+	if err != nil {
+		return nil, err
+	}
+	var out []Suppression
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range lintkit.FileDirectives(pkg.Fset, f) {
+				rel, err := filepath.Rel(root, d.File)
+				if err != nil {
+					rel = d.File
+				}
+				reason := d.Reason
+				if d.Malformed != "" {
+					reason = "(malformed: " + d.Malformed + ")"
+				}
+				out = append(out, Suppression{
+					File:      filepath.ToSlash(rel),
+					Line:      d.Line,
+					Analyzers: d.Analyzers,
+					Reason:    reason,
+				})
+			}
 		}
 	}
 	return out, nil

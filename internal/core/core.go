@@ -734,10 +734,17 @@ func (s *System) maybeSample() {
 	if d < s.nextSample {
 		return
 	}
-	s.recordSample(s.Snapshot())
+	s.recordSample("")
 }
 
-func (s *System) recordSample(sample telemetry.Sample) {
+// recordSample snapshots the system and hands the sample to the sink.
+// The snapshot happens behind this boundary so the per-line paths that
+// call maybeSample never see the allocation.
+//
+//alloc:cold telemetry samples fire once per sampling interval, not per line; the snapshot copies amortize to ~0 allocs/op
+func (s *System) recordSample(label string) {
+	sample := s.Snapshot()
+	sample.Label = label
 	s.sink.Record(sample)
 	s.lastSample = sample.Demand
 	s.haveSample = true
@@ -755,7 +762,7 @@ func (s *System) FlushTelemetry() {
 	if s.haveSample && d == s.lastSample {
 		return
 	}
-	s.recordSample(s.Snapshot())
+	s.recordSample("")
 }
 
 // nvramPattern maps the demand pattern onto the pattern the NVRAM
@@ -903,9 +910,7 @@ func (s *System) Sync(label string, computeSeconds float64) perfcounter.Sample {
 	if s.sink != nil {
 		// Interval boundaries are always worth a sample: record one
 		// carrying the interval label, regardless of the demand clock.
-		snap := s.Snapshot()
-		snap.Label = label
-		s.recordSample(snap)
+		s.recordSample(label)
 	}
 	return sample
 }

@@ -134,7 +134,14 @@ func NewSharded(cfg ShardConfig) (*Sharded, error) {
 func (s *Sharded) Channels() int { return len(s.shards) }
 
 // Shard returns channel i's controller, for per-channel inspection.
-func (s *Sharded) Shard(i int) *imc.Controller { return s.shards[i] }
+// Like every observer it takes the replay lock: the shards slice is
+// written by replay workers, and an unlocked read here is exactly the
+// PR 4 observation-race shape shardsafe now rejects.
+func (s *Sharded) Shard(i int) *imc.Controller {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shards[i]
+}
 
 // ChannelOf returns the channel that owns addr's line.
 func (s *Sharded) ChannelOf(addr uint64) int {
@@ -152,6 +159,8 @@ func (s *Sharded) route(addr uint64) (ctrl *imc.Controller, local uint64) {
 }
 
 // LLCRead services a demand read through the owning channel.
+//
+//hot:entry per-line demand path, callable while observers run
 func (s *Sharded) LLCRead(addr uint64) cache.LookupResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -160,6 +169,8 @@ func (s *Sharded) LLCRead(addr uint64) cache.LookupResult {
 }
 
 // LLCWrite services an LLC writeback through the owning channel.
+//
+//hot:entry per-line writeback path, callable while observers run
 func (s *Sharded) LLCWrite(addr uint64) (cache.LookupResult, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -172,6 +183,8 @@ func (s *Sharded) LLCWrite(addr uint64) (cache.LookupResult, bool) {
 // independent of channel order and of the interleaving the scheduler
 // chose during a parallel replay. Safe to call during a replay: it
 // blocks until the replay completes (see the concurrency contract).
+//
+//hot:entry the observer half of the PR 4 race: runs concurrently with replays
 func (s *Sharded) Counters() imc.Counters {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -323,6 +336,8 @@ type Op struct {
 
 // Replay drives the ops through the sharded controller in order on the
 // calling goroutine. It holds the replay lock for its full duration.
+//
+//hot:entry suite runners and the job pool replay concurrently with observers
 func (s *Sharded) Replay(ops []Op) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -389,6 +404,8 @@ func (s *Sharded) partition(ops []Op) [][]Op {
 // stream is replayed in boundary-aligned chunks with a barrier sample
 // after each, which keeps the recorded series identical to a serial
 // replay's.
+//
+//hot:entry launches the replay workers that mutate the per-channel controllers
 func (s *Sharded) ReplayParallel(ops []Op, workers int) {
 	if workers < 1 {
 		workers = 1

@@ -107,6 +107,9 @@ func NewThroughputSystem(mode core.Mode, scale uint64) (*core.System, mem.Region
 // SeqPass streams one sequential load pass plus one sequential store
 // pass over region, exercising the read- and write-miss pipelines.
 // Returns the number of demand lines simulated.
+//
+//hot:entry timed measurement loop; its cost IS the measured figure
+//alloc:free the timed region must not allocate or the GC skews lines/sec
 func SeqPass(sys *core.System, region mem.Region) uint64 {
 	sys.LoadRange(region)
 	sys.StoreRange(region)
@@ -120,6 +123,9 @@ func SeqPass(sys *core.System, region mem.Region) uint64 {
 // it via chunked in-order dispatch; counters are byte-identical to
 // calling Load/Store per line. Returns the number of demand lines
 // simulated.
+//
+//hot:entry timed measurement loop; its cost IS the measured figure
+//alloc:free the timed region must not allocate or the GC skews lines/sec
 func RandPass(sys *core.System, region mem.Region, seed uint32) (uint64, error) {
 	n := region.Lines()
 	b := sys.Batch()

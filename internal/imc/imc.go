@@ -365,6 +365,7 @@ func (c *Controller) maybeSample() {
 	c.recordSample(d)
 }
 
+//alloc:cold telemetry samples fire once per sampling interval, not per line; the snapshot copies amortize to ~0 allocs/op
 func (c *Controller) recordSample(d uint64) {
 	c.sink.Record(c.Snapshot())
 	c.lastSample = d
@@ -390,6 +391,8 @@ func (c *Controller) FlushTelemetry() {
 func (c *Controller) Policy() Policy { return c.policy }
 
 // Counters returns a snapshot of the event counters.
+//
+//hot:entry observers snapshot pooled controllers between and during jobs
 func (c *Controller) Counters() Counters { return c.counters }
 
 // ResetCounters zeroes the event counters without touching cache state,
@@ -432,6 +435,9 @@ func (c *Controller) ResetCounters() {
 //
 // Like ResetCounters, Reset rewinds the demand clock, so a snapshot
 // delta must not straddle it (the resetcheck analyzer enforces this).
+//
+//hot:entry sweep workers recycle pooled controllers between jobs
+//alloc:free controller recycling is part of the 0-allocs/job sweep contract
 func (c *Controller) Reset() {
 	c.Cache.Reset()
 	// The stream locators memoize a pure function of the address, so
@@ -481,6 +487,9 @@ func (c *Controller) missHandler(ctr *Counters, ch *dram.Channel, addr, h uint64
 // LLCRead services a demand request from the LLC: a load miss or an RFO
 // for a store. The data (and its ECC tag) is read from DRAM; on a tag
 // miss the miss handler fills from NVRAM.
+//
+//hot:entry sweep workers and replay goroutines drive pooled controllers concurrently
+//alloc:free per-line demand path, 0 allocs/op by benchmark contract
 func (c *Controller) LLCRead(addr uint64) cache.LookupResult {
 	c.counters.LLCRead++
 	set, tag, chIdx := c.locate(&c.readLoc, addr)
@@ -513,6 +522,9 @@ func (c *Controller) LLCRead(addr uint64) cache.LookupResult {
 // LLCWrite services a writeback from the LLC — either the eviction of a
 // dirty line or a nontemporal store. Returns the tag-check result, or
 // Hit with ddo=true when the Dirty Data Optimization elided the check.
+//
+//hot:entry sweep workers and replay goroutines drive pooled controllers concurrently
+//alloc:free per-line writeback path, 0 allocs/op by benchmark contract
 func (c *Controller) LLCWrite(addr uint64) (res cache.LookupResult, ddo bool) {
 	c.counters.LLCWrite++
 	set, tag, chIdx := c.locate(&c.writeLoc, addr)
@@ -568,6 +580,9 @@ func (c *Controller) LLCWrite(addr uint64) (res cache.LookupResult, ddo bool) {
 // depend on cache state. Counter results — imc.Counters, per-channel
 // CAS, NVRAM media counters — are byte-identical to the per-line path
 // (the differential tests pin this).
+//
+//hot:entry batched demand path, driven on pooled controllers
+//alloc:free batched read path, 0 allocs/op by benchmark contract
 func (c *Controller) LLCReadRange(addr uint64, n uint64) {
 	if n == 0 {
 		return
@@ -634,6 +649,9 @@ func (c *Controller) LLCReadRange(addr uint64, n uint64) {
 // flushed once. DRAM traffic stays per line because it depends on the
 // per-line DDO and tag-check outcomes. Counter-identical to the
 // per-line path.
+//
+//hot:entry batched writeback path, driven on pooled controllers
+//alloc:free batched write path, 0 allocs/op by benchmark contract
 func (c *Controller) LLCWriteRange(addr uint64, n uint64) {
 	if n == 0 {
 		return

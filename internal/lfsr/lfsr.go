@@ -145,6 +145,8 @@ type Stream struct {
 // NewStream returns a Stream over [0, n) seeded like Sequence. The
 // value is self-contained and lives wherever the caller puts it — no
 // heap state, so the random-path benchmarks stay at 0 allocs/op.
+//
+//alloc:cold stream setup runs once per pass, not per line; its error paths may format
 func NewStream(n uint64, seed uint32) (Stream, error) {
 	if n <= 1 {
 		return Stream{n: n, first: n == 1}, nil
@@ -208,9 +210,18 @@ func (s *Stream) Fill(buf []uint32) (int, error) {
 	s.state, s.steps = state, steps
 	s.emitted += uint64(c - cStart)
 	if c == 0 && s.emitted < s.n {
-		return 0, fmt.Errorf("lfsr: stream emitted %d of %d indices", s.emitted, s.n)
+		return 0, s.stallError()
 	}
 	return c, nil
+}
+
+// stallError reports a stream that stopped producing indices before
+// covering [0, n) — impossible for a correct LFSR, so the formatting
+// allocation lives behind a cold boundary off the Fill fast path.
+//
+//alloc:cold defensive error path: a correct LFSR never stalls mid-stream
+func (s *Stream) stallError() error {
+	return fmt.Errorf("lfsr: stream emitted %d of %d indices", s.emitted, s.n)
 }
 
 // Sequence visits every index in [0, n) exactly once in pseudo-random

@@ -75,6 +75,8 @@ func (a *arena) release(rg *rig, fresh bool) {
 }
 
 // buildRig constructs the controller stack for one geometry class.
+//
+//alloc:cold rig construction happens once per geometry class (or per job only under the deliberately naive Fresh mode)
 func buildRig(g *Geometry) (*rig, error) {
 	d, err := dram.New(g.Channels, g.CacheBytes)
 	if err != nil {
@@ -171,6 +173,9 @@ func (r *Runner) Run(workers int, observe func(engine.Outcome)) ([]Row, error) {
 // built) rig and writes its result row. The row write is a whole-value
 // store of fields already resolved at expansion, so the only per-job
 // heap traffic in steady state is none at all.
+//
+//hot:entry sweep workers execute points concurrently on the shared rig pool
+//alloc:free 0 steady-state allocs/job is the pooled-runner contract (PR 7)
 func (r *Runner) executePoint(p *Point, row *Row) error {
 	rg, err := r.pool.acquire(p.Geom, r.Fresh)
 	if err != nil {

@@ -168,6 +168,15 @@ func measureSweepBest(trials int) (engine.ThroughputResult, error) {
 	return best, nil
 }
 
+// requiredConfigs are the stream configurations every baseline must
+// gate: the sequential entries pin the closed-form set-stride fold's
+// throughput, the random entries the batched dispatch path. A baseline
+// missing any of them (say, rewritten by an older tool) fails loudly
+// instead of silently ungating that path.
+var requiredConfigs = []string{
+	"sequential-2LM", "lfsr-random-2LM", "sequential-1LM", "lfsr-random-1LM",
+}
+
 func readReport(path string) (*engine.ThroughputReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -179,6 +188,15 @@ func readReport(path string) (*engine.ThroughputReport, error) {
 	}
 	if len(rep.Results) == 0 {
 		return nil, fmt.Errorf("%s: baseline has no results", path)
+	}
+	have := map[string]bool{}
+	for _, r := range rep.Results {
+		have[r.Name] = true
+	}
+	for _, name := range requiredConfigs {
+		if !have[name] {
+			return nil, fmt.Errorf("%s: baseline lacks required configuration %q", path, name)
+		}
 	}
 	return &rep, nil
 }

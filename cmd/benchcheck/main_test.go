@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -140,5 +142,43 @@ func TestMeasureAgainstSelf(t *testing.T) {
 	}
 	if n != 0 {
 		t.Errorf("self-comparison flagged %d regressions:\n%s", n, buf.String())
+	}
+}
+
+// TestBaselineRequiresStreamConfigs: a baseline file missing any of the
+// four gated stream configurations — notably the sequential entries the
+// set-stride fold is gated on — is rejected outright.
+func TestBaselineRequiresStreamConfigs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	rep := report(map[string]float64{
+		"lfsr-random-2LM": 200, "sequential-1LM": 300, "lfsr-random-1LM": 400,
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteThroughputJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := readReport(path); err == nil || !strings.Contains(err.Error(), "sequential-2LM") {
+		t.Errorf("baseline without sequential-2LM accepted (err=%v)", err)
+	}
+
+	full := report(map[string]float64{
+		"sequential-2LM": 100, "lfsr-random-2LM": 200,
+		"sequential-1LM": 300, "lfsr-random-1LM": 400,
+	})
+	f, err = os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.WriteThroughputJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := readReport(path); err != nil {
+		t.Errorf("complete baseline rejected: %v", err)
 	}
 }

@@ -29,20 +29,44 @@ import (
 	"twolm/internal/telemetry"
 )
 
-func main() {
-	rc := runcfg.Defaults()
-	rc.Out = "" // print-only unless -out asks for trace CSVs
-	rc.Register(flag.CommandLine)
-	which := flag.String("experiment", "all", "experiment: all, fig5, fig6, fig10, table2")
-	flag.Parse()
+// options is the parsed flag surface: the suite-wide runcfg block plus
+// the study's bespoke experiment selector.
+type options struct {
+	rc    runcfg.Common
+	which string
+}
 
+// parseFlags parses the command line into options without touching
+// global flag state, so tests can drive the full surface.
+func parseFlags(name string, args []string) (*options, error) {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	o := &options{rc: runcfg.Defaults()}
+	o.rc.Out = "" // print-only unless -out asks for trace CSVs
+	o.rc.Register(fs)
+	fs.StringVar(&o.which, "experiment", "all", "experiment: all, fig5, fig6, fig10, table2")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// config resolves the experiment configuration; -quick overrides -scale
+// with the 1/8192 sanity footprint.
+func (o *options) config() experiments.CNNConfig {
 	cfg := experiments.DefaultCNNConfig()
-	cfg.Scale = rc.Scale
-	if rc.Quick {
+	cfg.Scale = o.rc.Scale
+	if o.rc.Quick {
 		cfg.Scale = 8192
 	}
+	return cfg
+}
 
-	if err := run(cfg, *which, rc); err != nil {
+func main() {
+	o, err := parseFlags("cnnsim", os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := run(o.config(), o.which, o.rc); err != nil {
 		fmt.Fprintln(os.Stderr, "cnnsim:", err)
 		os.Exit(1)
 	}

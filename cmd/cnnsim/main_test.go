@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFlagSurface pins the shared runcfg flag set on cnnsim: every
+// suite-wide flag — including -metrics-addr — parses into the Common
+// block, the bespoke -experiment selector works beside them, and
+// -quick overrides -scale in the resolved configuration.
+func TestFlagSurface(t *testing.T) {
+	o, err := parseFlags("cnnsim-test", []string{
+		"-out", "artifacts",
+		"-scale", "2048",
+		"-parallel", "3",
+		"-channels", "4",
+		"-metrics-addr", "127.0.0.1:0",
+		"-experiment", "fig10",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.rc.Out != "artifacts" || o.rc.Scale != 2048 || o.rc.Parallel != 3 ||
+		o.rc.Channels != 4 || o.rc.MetricsAddr != "127.0.0.1:0" {
+		t.Errorf("shared flags misparsed: %+v", o.rc)
+	}
+	if o.which != "fig10" {
+		t.Errorf("-experiment misparsed: %q", o.which)
+	}
+	if got := o.config().Scale; got != 2048 {
+		t.Errorf("config().Scale = %d, want 2048", got)
+	}
+
+	quick, err := parseFlags("cnnsim-test", []string{"-scale", "64", "-quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := quick.config().Scale; got != 8192 {
+		t.Errorf("-quick config().Scale = %d, want 8192", got)
+	}
+}
+
+// TestFlagValidation pins that malformed shared flags are rejected by
+// the same runcfg validation every binary uses, before any experiment
+// work starts.
+func TestFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad-scale", []string{"-scale", "1000"}, "power of two"},
+		{"bad-parallel", []string{"-parallel", "0"}, "-parallel"},
+		{"bad-channels", []string{"-channels", "-2"}, "-channels"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			o, err := parseFlags("cnnsim-test", tc.args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = run(o.config(), o.which, o.rc)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}

@@ -31,30 +31,55 @@ import (
 	"twolm/internal/telemetry"
 )
 
-func main() {
-	rc := runcfg.Defaults()
-	rc.Out = "" // print-only unless -out asks for trace CSVs
-	rc.Scale = 4096
-	rc.Register(flag.CommandLine)
-	smallScale := flag.Int("small-scale", 18, "log2 nodes of the fits-in-cache Kronecker graph")
-	largeScale := flag.Int("large-scale", 21, "log2 nodes of the exceeds-cache web-like graph")
-	prRounds := flag.Int("pr-rounds", 5, "pagerank-push rounds")
-	flag.Parse()
+// options is the parsed flag surface: the suite-wide runcfg block plus
+// the study's bespoke graph-geometry knobs.
+type options struct {
+	rc         runcfg.Common
+	smallScale int
+	largeScale int
+	prRounds   int
+}
 
+// parseFlags parses the command line into options without touching
+// global flag state, so tests can drive the full surface.
+func parseFlags(name string, args []string) (*options, error) {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	o := &options{rc: runcfg.Defaults()}
+	o.rc.Out = "" // print-only unless -out asks for trace CSVs
+	o.rc.Scale = 4096
+	o.rc.Register(fs)
+	fs.IntVar(&o.smallScale, "small-scale", 18, "log2 nodes of the fits-in-cache Kronecker graph")
+	fs.IntVar(&o.largeScale, "large-scale", 21, "log2 nodes of the exceeds-cache web-like graph")
+	fs.IntVar(&o.prRounds, "pr-rounds", 5, "pagerank-push rounds")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// config resolves the study configuration; -quick overrides the
+// geometry with the sanity-pass shape the suite uses for repro -quick.
+func (o *options) config() experiments.GraphConfig {
 	cfg := experiments.DefaultGraphConfig()
-	cfg.Scale = rc.Scale
-	cfg.SmallScale = *smallScale
-	cfg.LargeScale = *largeScale
-	cfg.PRRounds = *prRounds
-	if rc.Quick {
-		// The sanity-pass geometry the suite uses for repro -quick.
+	cfg.Scale = o.rc.Scale
+	cfg.SmallScale = o.smallScale
+	cfg.LargeScale = o.largeScale
+	cfg.PRRounds = o.prRounds
+	if o.rc.Quick {
 		cfg.Scale = 16384
 		cfg.SmallScale = 14
 		cfg.LargeScale = 19
 		cfg.PRRounds = 3
 	}
+	return cfg
+}
 
-	if err := run(cfg, rc); err != nil {
+func main() {
+	o, err := parseFlags("graphsim", os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := run(o.config(), o.rc); err != nil {
 		fmt.Fprintln(os.Stderr, "graphsim:", err)
 		os.Exit(1)
 	}

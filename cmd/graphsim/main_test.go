@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFlagSurface pins the shared runcfg flag set on graphsim: every
+// suite-wide flag — including -metrics-addr — parses into the Common
+// block, the bespoke geometry knobs work beside them, and -quick
+// overrides the whole geometry in the resolved configuration.
+func TestFlagSurface(t *testing.T) {
+	o, err := parseFlags("graphsim-test", []string{
+		"-out", "artifacts",
+		"-scale", "2048",
+		"-parallel", "3",
+		"-channels", "4",
+		"-metrics-addr", "127.0.0.1:0",
+		"-small-scale", "15",
+		"-large-scale", "20",
+		"-pr-rounds", "7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.rc.Out != "artifacts" || o.rc.Scale != 2048 || o.rc.Parallel != 3 ||
+		o.rc.Channels != 4 || o.rc.MetricsAddr != "127.0.0.1:0" {
+		t.Errorf("shared flags misparsed: %+v", o.rc)
+	}
+	cfg := o.config()
+	if cfg.Scale != 2048 || cfg.SmallScale != 15 || cfg.LargeScale != 20 || cfg.PRRounds != 7 {
+		t.Errorf("geometry flags misparsed: %+v", cfg)
+	}
+
+	quick, err := parseFlags("graphsim-test", []string{"-scale", "64", "-quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qcfg := quick.config()
+	if qcfg.Scale != 16384 || qcfg.SmallScale != 14 || qcfg.LargeScale != 19 || qcfg.PRRounds != 3 {
+		t.Errorf("-quick geometry = %+v, want the sanity-pass shape", qcfg)
+	}
+}
+
+// TestFlagValidation pins that malformed shared flags are rejected by
+// the same runcfg validation every binary uses, before any study work
+// starts.
+func TestFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad-scale", []string{"-scale", "1000"}, "power of two"},
+		{"bad-parallel", []string{"-parallel", "0"}, "-parallel"},
+		{"bad-channels", []string{"-channels", "-2"}, "-channels"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			o, err := parseFlags("graphsim-test", tc.args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = run(o.config(), o.rc)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}

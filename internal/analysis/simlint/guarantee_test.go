@@ -73,6 +73,45 @@ func TestHotQuartetCleanWithoutSuppression(t *testing.T) {
 	}
 }
 
+// TestBulkEntryPointsDeclared pins the analyzer root set over the
+// batched hot paths: every bulk range/run entry point must carry both
+// //hot:entry (shardsafe roots its reachability walk there) and
+// //alloc:free (allocfree proves the path allocation-free). Without the
+// markers the closed-form fold paths would silently fall out of the
+// shardsafe/allocfree/hotdiv guarantees this file exists to keep.
+func TestBulkEntryPointsDeclared(t *testing.T) {
+	root := moduleRoot(t)
+	entries := map[string][]string{
+		"internal/imc/imc.go":     {"func (c *Controller) LLCReadRange", "func (c *Controller) LLCWriteRange"},
+		"internal/imc/seqfold.go": {"func (c *Controller) LLCWritebackReadRange"},
+		"internal/nvram/nvram.go": {"func (m *Module) ReadLineRun", "func (m *Module) WriteLineRun"},
+	}
+	for file, funcs := range entries {
+		src, err := os.ReadFile(filepath.Join(root, file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fn := range funcs {
+			idx := strings.Index(string(src), fn)
+			if idx < 0 {
+				t.Errorf("%s: entry point %q not found", file, fn)
+				continue
+			}
+			// The markers live in the doc comment directly above the
+			// declaration.
+			doc := string(src[:idx])
+			if cut := strings.LastIndex(doc, "\n\n"); cut >= 0 {
+				doc = doc[cut:]
+			}
+			for _, marker := range []string{"//hot:entry", "//alloc:free"} {
+				if !strings.Contains(doc, marker) {
+					t.Errorf("%s: %q lacks %s in its doc comment", file, fn, marker)
+				}
+			}
+		}
+	}
+}
+
 // TestVettoolHotQuartet builds cmd/simlint and drives it through the
 // real `go vet -vettool` protocol over the hot quartet, proving the
 // unitchecker shim works end to end against the live tree.

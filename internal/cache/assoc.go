@@ -252,6 +252,33 @@ func (c *Assoc) DirectEntries() []uint64 {
 	return c.entries
 }
 
+// StampSeqRun overwrites count consecutive sets starting at set with
+// packed entries carrying the given flags and the tags of consecutive
+// lines: the first stamped set receives tag, and the tag increments at
+// each set-index wrap — exactly the final state a walk over count
+// consecutive lines would leave when every visit installs with the same
+// flags. Direct-mapped stores only (Ways == 1); the sequential fold in
+// internal/imc guards on DirectEntries before calling.
+func (c *Assoc) StampSeqRun(set uint64, tag uint32, count, flags uint64) {
+	stampSeqRun(c.entries, c.sets, set, tag, count, flags)
+}
+
+// stampSeqRun is the shared bulk-stamp kernel of Assoc.StampSeqRun and
+// DirectMapped.StampSeqRun: one packed-word store per set, with the tag
+// carry folded into the wrap branch.
+func stampSeqRun(entries []uint64, sets, set uint64, tag uint32, count, flags uint64) {
+	w := packEntry(tag, flags)
+	for i := uint64(0); i < count; i++ {
+		entries[set] = w
+		set++
+		if set == sets {
+			set = 0
+			tag++
+			w = packEntry(tag, flags)
+		}
+	}
+}
+
 // DirtyLines returns the number of valid dirty lines. O(lines).
 func (c *Assoc) DirtyLines() uint64 {
 	var n uint64

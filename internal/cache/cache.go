@@ -188,6 +188,16 @@ func (c *DirectMapped) LLCOwned(set uint64) bool {
 // insert, and dirty-marking into one load and one store per operation.
 func (c *DirectMapped) DirectEntries() []uint64 { return c.entries }
 
+// StampSeqRun overwrites count consecutive sets starting at set with
+// packed entries carrying the given flags and the tags of consecutive
+// lines (tag increments at each set-index wrap) — the final state a
+// sequential walk of count lines leaves when every visit installs with
+// the same flags. The batched LLC filter in internal/core uses this to
+// commit a folded range's residency in one store per set.
+func (c *DirectMapped) StampSeqRun(set uint64, tag uint32, count, flags uint64) {
+	stampSeqRun(c.entries, c.sets, set, tag, count, flags)
+}
+
 // DirtyLines returns the number of valid dirty lines. O(sets); intended
 // for tests and reports, not hot paths.
 func (c *DirectMapped) DirtyLines() uint64 {

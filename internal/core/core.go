@@ -437,6 +437,49 @@ func (s *System) rangeTouch(r mem.Region, dirty bool) {
 	}
 }
 
+// seqRange is rangeTouch with the on-chip steady state folded closed.
+// A sequential walk saturates the direct-mapped LLC after at most two
+// set wraps: past line 2K (K = LLC sets) every line misses against this
+// range's own install of line i-K — clean for loads, dirty for stores —
+// so the remainder needs no per-line on-chip probes. Loads stream the
+// remainder through the controller's batched read path; stores stream
+// the interleaved eviction/demand pair through LLCWritebackReadRange
+// (the victim of line i is exactly line i-K, a sequential stream K
+// lines behind). The LLC's final state — the last min(m, K) lines
+// resident — commits as a bulk stamp. Counter results are byte-identical
+// to rangeTouch (fastpath_test.go pins this).
+func (s *System) seqRange(r mem.Region, dirty bool) {
+	n := r.Lines()
+	ks := s.llc.Sets()
+	prefix := min(n, 2*ks)
+	s.rangeTouch(mem.Region{Base: r.Base, Size: prefix * mem.Line}, dirty)
+	m := n - prefix
+	if m == 0 {
+		return
+	}
+	base := r.Base + prefix*mem.Line
+	if dirty {
+		wbase := base - ks*mem.Line
+		if s.mode == Mode2LM {
+			s.ctrl.LLCWritebackReadRange(wbase, base, m)
+		} else {
+			s.flatWriteRange(wbase, m)
+			s.flatReadRange(base, m)
+		}
+	} else if s.mode == Mode2LM {
+		s.ctrl.LLCReadRange(base, m)
+	} else {
+		s.flatReadRange(base, m)
+	}
+	flags := cache.EntryValid
+	if dirty {
+		flags |= cache.EntryDirty
+	}
+	w := min(m, ks)
+	ws, wt := s.llc.Index(base + (m-w)*mem.Line)
+	s.llc.StampSeqRun(ws, wt, w, flags)
+}
+
 // LoadRange streams demand loads over every line of r.
 func (s *System) LoadRange(r mem.Region) {
 	if s.tap != nil {
@@ -444,7 +487,7 @@ func (s *System) LoadRange(r mem.Region) {
 			s.Load(a)
 		}
 	} else {
-		s.rangeTouch(r, false)
+		s.seqRange(r, false)
 		s.demandBytes += mem.Line * r.Lines()
 	}
 	if s.sink != nil {
@@ -459,7 +502,7 @@ func (s *System) StoreRange(r mem.Region) {
 			s.Store(a)
 		}
 	} else {
-		s.rangeTouch(r, true)
+		s.seqRange(r, true)
 		s.demandBytes += mem.Line * r.Lines()
 	}
 	if s.sink != nil {
@@ -474,7 +517,7 @@ func (s *System) RMWRange(r mem.Region) {
 			s.RMW(a)
 		}
 	} else {
-		s.rangeTouch(r, true)
+		s.seqRange(r, true)
 		s.demandBytes += 2 * mem.Line * r.Lines()
 	}
 	if s.sink != nil {
@@ -523,40 +566,49 @@ func (s *System) StoreNTRange(r mem.Region) {
 
 // flatWriteRange routes n consecutive line writes through the 1LM
 // path, splitting the run at the DRAM/NVRAM pool boundary and batching
-// the flat counters and DRAM channel counts per segment. NVRAM lines
-// stay per line for the media combining state.
+// the flat counters, DRAM channel counts, and NVRAM media accounting
+// per segment. Closure-free: this sits on the //alloc:free demand path.
 func (s *System) flatWriteRange(addr uint64, n uint64) {
 	s.flat.LLCWrite += n
-	s.eachPoolRun(addr, n, func(pool platform.Pool, base, cnt uint64) {
-		if pool == platform.PoolDRAM {
-			s.flat.DRAMWrite += cnt
-			s.dramMod.WriteRange(base, cnt)
-			return
-		}
-		s.flat.NVRAMWrite += cnt
-		end := base + cnt*mem.Line
-		for a := base; a < end; a += mem.Line {
-			s.nvramMod.Write(a)
-		}
-	})
+	dn := s.poolSplitLines(addr, n)
+	if dn > 0 {
+		s.flat.DRAMWrite += dn
+		s.dramMod.WriteRange(addr, dn)
+	}
+	if n > dn {
+		s.flat.NVRAMWrite += n - dn
+		s.nvramMod.WriteLineRun(addr+dn*mem.Line, n-dn)
+	}
 }
 
 // flatReadRange routes n consecutive line reads through the 1LM path,
 // batched the same way as flatWriteRange.
 func (s *System) flatReadRange(addr uint64, n uint64) {
 	s.flat.LLCRead += n
-	s.eachPoolRun(addr, n, func(pool platform.Pool, base, cnt uint64) {
-		if pool == platform.PoolDRAM {
-			s.flat.DRAMRead += cnt
-			s.dramMod.ReadRange(base, cnt)
-			return
-		}
-		s.flat.NVRAMRead += cnt
-		end := base + cnt*mem.Line
-		for a := base; a < end; a += mem.Line {
-			s.nvramMod.Read(a)
-		}
-	})
+	dn := s.poolSplitLines(addr, n)
+	if dn > 0 {
+		s.flat.DRAMRead += dn
+		s.dramMod.ReadRange(addr, dn)
+	}
+	if n > dn {
+		s.flat.NVRAMRead += n - dn
+		s.nvramMod.ReadLineRun(addr+dn*mem.Line, n-dn)
+	}
+}
+
+// poolSplitLines returns how many of the n lines starting at addr fall
+// in the DRAM pool — the 1LM address space is a DRAM region followed by
+// an NVRAM region, so a run splits into at most a DRAM prefix and an
+// NVRAM suffix.
+func (s *System) poolSplitLines(addr uint64, n uint64) uint64 {
+	boundary := s.space.DRAMBoundary()
+	if addr >= boundary {
+		return 0
+	}
+	if addr+n*mem.Line <= boundary {
+		return n
+	}
+	return (boundary - addr + mem.Line - 1) / mem.Line
 }
 
 // eachPoolRun splits the n lines starting at addr into at most two

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"twolm/internal/core"
 	"twolm/internal/dram"
 	"twolm/internal/imc"
 	"twolm/internal/nvram"
@@ -135,6 +136,47 @@ func TestTelemetrySerialVsSharded(t *testing.T) {
 		}
 		if !bytes.Equal(pCSV, pCSV2) || !bytes.Equal(pJSON, pJSON2) {
 			t.Errorf("%s: sharded series not reproducible across runs", name)
+		}
+	}
+}
+
+// TestTelemetrySeqFoldBoundaries pins telemetry byte-identity across
+// the closed-form sequential fold: a system streaming SeqPass through
+// the folded Range paths and a system forced down the per-line demand
+// path by an installed tap record byte-identical Recorder CSV and JSON
+// series — in both operating modes, at sampling intervals chosen to
+// land mid-segment (inside the fold's probe wrap and uniform remainder)
+// so the demand-line boundary chunking is what is being compared.
+func TestTelemetrySeqFoldBoundaries(t *testing.T) {
+	for _, mode := range []core.Mode{core.Mode2LM, core.Mode1LM} {
+		for _, every := range []uint64{777, 4096} {
+			run := func(perLine bool) (csv, js []byte) {
+				sys, region, err := NewThroughputSystem(mode, 8192)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if perLine {
+					sys.SetTap(func(op core.TapOp, addr uint64) {})
+				}
+				rec := telemetry.NewRecorder()
+				sys.SetTelemetry(rec, every)
+				for pass := 0; pass < 2; pass++ {
+					SeqPass(sys, region)
+				}
+				sys.FlushTelemetry()
+				if rec.Len() == 0 {
+					t.Fatalf("mode=%v every=%d perLine=%v: no samples recorded", mode, every, perLine)
+				}
+				return renderSeries(t, rec)
+			}
+			foldCSV, foldJSON := run(false)
+			lineCSV, lineJSON := run(true)
+			if !bytes.Equal(foldCSV, lineCSV) {
+				t.Errorf("mode=%v every=%d: CSV series diverge between folded and per-line runs", mode, every)
+			}
+			if !bytes.Equal(foldJSON, lineJSON) {
+				t.Errorf("mode=%v every=%d: JSON series diverge between folded and per-line runs", mode, every)
+			}
 		}
 	}
 }

@@ -42,13 +42,17 @@ func TestRandPassZeroAllocs(t *testing.T) {
 // TestSeqPassZeroAllocs pins the same contract for the sequential
 // range path, which shares the controller scratch.
 func TestSeqPassZeroAllocs(t *testing.T) {
-	sys, region, err := NewThroughputSystem(core.Mode2LM, 1<<18)
-	if err != nil {
-		t.Fatal(err)
-	}
-	SeqPass(sys, region)
-	allocs := testing.AllocsPerRun(10, func() { SeqPass(sys, region) })
-	if allocs != 0 {
-		t.Errorf("SeqPass allocates %.1f objects per pass, want 0", allocs)
+	for _, mode := range []core.Mode{core.Mode2LM, core.Mode1LM} {
+		t.Run(mode.String(), func(t *testing.T) {
+			sys, region, err := NewThroughputSystem(mode, 1<<18)
+			if err != nil {
+				t.Fatal(err)
+			}
+			SeqPass(sys, region)
+			allocs := testing.AllocsPerRun(10, func() { SeqPass(sys, region) })
+			if allocs != 0 {
+				t.Errorf("%s: SeqPass allocates %.1f objects per pass, want 0", mode, allocs)
+			}
+		})
 	}
 }

@@ -587,6 +587,16 @@ func (c *Controller) LLCReadRange(addr uint64, n uint64) {
 	if n == 0 {
 		return
 	}
+	// Direct-mapped stores with read-allocate take the closed-form
+	// set-stride fold (seqfold.go); Ways>1 and the no-allocate ablation
+	// keep the per-line walk below.
+	if entries := c.Cache.DirectEntries(); entries != nil && c.policy.ReadAllocate {
+		c.seqReadRange(entries, addr, n)
+		if c.sink != nil {
+			c.maybeSample()
+		}
+		return
+	}
 	var d Counters
 	d.LLCRead = n
 	d.DRAMRead = n
@@ -654,6 +664,16 @@ func (c *Controller) LLCReadRange(addr uint64, n uint64) {
 //alloc:free batched write path, 0 allocs/op by benchmark contract
 func (c *Controller) LLCWriteRange(addr uint64, n uint64) {
 	if n == 0 {
+		return
+	}
+	// Direct-mapped stores with write-allocate take the closed-form
+	// set-stride fold (seqfold.go; DisableDDO folds too — it only picks
+	// the uniform write formula). Ways>1 and write-around fall back.
+	if entries := c.Cache.DirectEntries(); entries != nil && c.policy.WriteAllocate {
+		c.seqWriteRange(entries, addr, n)
+		if c.sink != nil {
+			c.maybeSample()
+		}
 		return
 	}
 	var d Counters

@@ -1,0 +1,152 @@
+package nvram
+
+import (
+	"fmt"
+	"testing"
+
+	"twolm/internal/lfsr"
+	"twolm/internal/mem"
+)
+
+// newLineRunPair builds two identically configured modules for
+// differential runs of the bulk line-run entry points.
+func newLineRunPair(t *testing.T, dimms int) (perCall, bulk *Module) {
+	t.Helper()
+	build := func() *Module {
+		m, err := New(dimms, 48*mem.MiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	return build(), build()
+}
+
+// assertSameModule compares every per-DIMM interface and media counter.
+func assertSameModule(t *testing.T, label string, perCall, bulk *Module) {
+	t.Helper()
+	a, b := moduleCounters(perCall), moduleCounters(bulk)
+	if a != b {
+		t.Errorf("%s: counters diverge: per-call %v, bulk %v", label, a, b)
+	}
+	for i := 0; i < perCall.DIMMs(); i++ {
+		x, y := perCall.DIMMAt(i), bulk.DIMMAt(i)
+		got := [4]uint64{x.Reads, x.Writes, x.MediaReads, x.MediaWrites}
+		want := [4]uint64{y.Reads, y.Writes, y.MediaReads, y.MediaWrites}
+		if got != want {
+			t.Errorf("%s: DIMM %d diverges: per-call %v, bulk %v", label, i, got, want)
+		}
+	}
+}
+
+// lineRunCases sweeps run lengths and bases across chunk and media
+// block boundaries, including unaligned bases (a line's chunk and block
+// are those of its start address, so sub-line offsets must not shift
+// the accounting).
+func lineRunCases() []struct{ addr, n uint64 } {
+	return []struct{ addr, n uint64 }{
+		{0, 1},
+		{0, 3},
+		{0, 64},                       // exactly one 4 KiB chunk
+		{0, 65},                       // one line into the next chunk
+		{0, 1024},                     // many chunks, all DIMMs
+		{3 * mem.Line, 4},             // inside one media block
+		{4096 - mem.Line, 2},          // straddles a chunk boundary
+		{4096 - mem.Line, 130},        // crosses two boundaries
+		{5*4096 + 7*mem.Line, 500},    // offset base, long run
+		{24, 64},                      // sub-line offset
+		{4096 - mem.Line + 40, 128},   // sub-line offset straddling chunks
+		{12345, 333},                  // arbitrary misalignment
+		{7 * mem.MiB, 4096},           // deep base, 64 chunks
+		{mem.MiB + 256 - mem.Line, 8}, // straddles a media block edge
+	}
+}
+
+// TestReadLineRunMatchesPerCall proves ReadLineRun is byte-identical to
+// per-call Read over each case, both from cold state and with the read
+// memo pre-seeded by earlier traffic.
+func TestReadLineRunMatchesPerCall(t *testing.T) {
+	for _, dimms := range []int{1, 6} {
+		for _, seeded := range []bool{false, true} {
+			t.Run(fmt.Sprintf("dimms=%d/seeded=%v", dimms, seeded), func(t *testing.T) {
+				perCall, bulk := newLineRunPair(t, dimms)
+				for _, c := range lineRunCases() {
+					if seeded {
+						// Leave the memo pointing at (or near) the run's
+						// first block so the b0 discount path triggers.
+						perCall.Read(c.addr)
+						bulk.Read(c.addr)
+					}
+					for i := uint64(0); i < c.n; i++ {
+						perCall.Read(c.addr + i*mem.Line)
+					}
+					bulk.ReadLineRun(c.addr, c.n)
+				}
+				bulk.ReadLineRun(0, 0) // no-op
+				assertSameModule(t, "read", perCall, bulk)
+			})
+		}
+	}
+}
+
+// TestWriteLineRunMatchesPerCall proves WriteLineRun is byte-identical
+// to per-call Write — including the write-combining ring, its eviction
+// order, and the merge memo — from cold state and against a ring primed
+// with LFSR-random blocks (so merges against pre-run residents occur).
+func TestWriteLineRunMatchesPerCall(t *testing.T) {
+	for _, dimms := range []int{1, 6} {
+		for _, primed := range []bool{false, true} {
+			t.Run(fmt.Sprintf("dimms=%d/primed=%v", dimms, primed), func(t *testing.T) {
+				perCall, bulk := newLineRunPair(t, dimms)
+				for _, c := range lineRunCases() {
+					if primed {
+						err := lfsr.Sequence(64, 0xBEEF, func(idx uint64) {
+							a := c.addr + idx*3*MediaBlock
+							perCall.Write(a)
+							bulk.Write(a)
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
+					for i := uint64(0); i < c.n; i++ {
+						perCall.Write(c.addr + i*mem.Line)
+					}
+					bulk.WriteLineRun(c.addr, c.n)
+				}
+				bulk.WriteLineRun(0, 0) // no-op
+				assertSameModule(t, "write", perCall, bulk)
+			})
+		}
+	}
+}
+
+// TestLineRunInterleavesWithPerCall drives runs and per-call traffic
+// alternately through the same modules: the bulk paths must leave the
+// memos and ring in exactly the state the per-call path would, so that
+// traffic after a run is also identical.
+func TestLineRunInterleavesWithPerCall(t *testing.T) {
+	perCall, bulk := newLineRunPair(t, 6)
+	span := uint64(2 * mem.MiB)
+	for round := uint64(0); round < 4; round++ {
+		base := round * span
+		for i := uint64(0); i < 200; i++ {
+			perCall.Write(base + i*mem.Line)
+			perCall.Read(base + i*mem.Line)
+		}
+		for i := uint64(0); i < 200; i++ {
+			bulk.Write(base + i*mem.Line)
+			bulk.Read(base + i*mem.Line)
+		}
+		runBase := base + 100*mem.Line // overlaps the per-call tail
+		for i := uint64(0); i < 300; i++ {
+			perCall.Write(runBase + i*mem.Line)
+		}
+		bulk.WriteLineRun(runBase, 300)
+		for i := uint64(0); i < 300; i++ {
+			perCall.Read(runBase + i*mem.Line)
+		}
+		bulk.ReadLineRun(runBase, 300)
+	}
+	assertSameModule(t, "interleave", perCall, bulk)
+}

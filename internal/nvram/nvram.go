@@ -369,6 +369,133 @@ func (m *Module) WriteBatch(addrs []uint64) {
 	}
 }
 
+// ReadLineRun records n consecutive ascending 64 B line reads starting
+// at addr — the closed form of calling Read on each line in order. An
+// ascending run visits each interleave chunk once and each media block
+// with consecutive lines only, so the merge memo collapses every block
+// to exactly one media read; the whole run costs one arithmetic step
+// per 4 KiB chunk instead of one memo check per line. Byte-identical to
+// the per-line path (the differential tests pin this).
+//
+//hot:entry sequential-fold device path, driven on pooled controllers
+//alloc:free bulk run path, 0 allocs/op by benchmark contract
+func (m *Module) ReadLineRun(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	end := addr + n*mem.Line
+	dimms := m.dimms
+	div := m.dimmDiv
+	for a := addr; a < end; {
+		chunk := a / interleaveGranularity
+		stop := (chunk + 1) * interleaveGranularity
+		if stop > end {
+			stop = end
+		}
+		d := dimms[div.Mod(chunk)]
+		// Lines starting before stop belong to this chunk (a line's
+		// chunk is that of its start address; an unaligned run may leave
+		// the last such line straddling the boundary, so the walk
+		// advances by whole lines, not to stop).
+		cnt := (stop - a + mem.Line - 1) >> mem.LineShift
+		last := a + (cnt-1)*mem.Line
+		// The chunk's lines cover media blocks b0..b1, each visited by
+		// 1-4 consecutive lines; distinct blocks collapse to one media
+		// read apiece, minus one if the DIMM's memo already holds b0
+		// (this DIMM's previous chunk cannot end in b0 — chunks of one
+		// DIMM are 4 KiB apart — but pre-run state can).
+		b0 := a / MediaBlock
+		b1 := last / MediaBlock
+		media := b1 - b0 + 1
+		if d.haveLastRead && d.lastReadBlock == b0 {
+			media--
+		}
+		d.Reads += cnt
+		d.MediaReads += media
+		d.lastReadBlock = b1
+		d.haveLastRead = true
+		a += cnt * mem.Line
+	}
+}
+
+// WriteLineRun records n consecutive ascending 64 B line writes
+// starting at addr — the bulk form of calling Write on each line in
+// order, walking media blocks instead of lines. For each DIMM the
+// block subsequence is strictly ascending, so a block can merge only
+// with pre-run ring contents: the membership scan runs only while the
+// block is below the maximum pre-chunk ring entry, after which every
+// block is a guaranteed insert. Byte-identical to the per-line path.
+//
+//hot:entry sequential-fold device path, driven on pooled controllers
+//alloc:free bulk run path, 0 allocs/op by benchmark contract
+func (m *Module) WriteLineRun(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	end := addr + n*mem.Line
+	dimms := m.dimms
+	div := m.dimmDiv
+	for a := addr; a < end; {
+		chunk := a / interleaveGranularity
+		stop := (chunk + 1) * interleaveGranularity
+		if stop > end {
+			stop = end
+		}
+		d := dimms[div.Mod(chunk)]
+		cnt := (stop - a + mem.Line - 1) >> mem.LineShift
+		last := a + (cnt-1)*mem.Line
+		d.Writes += cnt
+		// ringMax bounds the ring's resident blocks from above. Blocks
+		// inserted below never need rechecking: the walk ascends, so a
+		// later block can only equal a ring entry that predates this
+		// chunk. A stale-high bound costs a useless scan, never a wrong
+		// merge — the same contract as xpbufBound.
+		ringMax := uint64(0)
+		for i := 0; i < d.xpbufLen; i++ {
+			if d.xpbuf[i] > ringMax {
+				ringMax = d.xpbuf[i]
+			}
+		}
+		b0 := a / MediaBlock
+		b1 := last / MediaBlock
+		for b := b0; b <= b1; b++ {
+			if d.haveLastWrite && b == d.lastWriteBlock {
+				continue // merged into a pending media write
+			}
+			if b <= d.xpbufBound && b <= ringMax {
+				merged := false
+				for i := 0; i < d.xpbufLen; i++ {
+					if d.xpbuf[i] == b {
+						merged = true
+					}
+				}
+				if merged {
+					d.lastWriteBlock = b
+					d.haveLastWrite = true
+					continue // merged into a pending media write
+				}
+			}
+			d.MediaWrites++
+			if d.xpbufLen < xpBufferEntries {
+				d.xpbuf[d.xpbufLen] = b
+				d.xpbufLen++
+			} else {
+				d.xpbuf[d.xpbufNext] = b
+				d.xpbufNext++
+				if d.xpbufNext == xpBufferEntries {
+					d.xpbufNext = 0
+				}
+			}
+			if b > d.xpbufBound {
+				d.xpbufBound = b
+			}
+			d.lastWriteBlock = b
+			d.haveLastWrite = true
+		}
+		a += cnt * mem.Line
+	}
+}
+
 // TotalReads returns interface read transactions summed over DIMMs.
 func (m *Module) TotalReads() uint64 {
 	var n uint64

@@ -7,6 +7,7 @@
 package twolm_test
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -26,14 +27,14 @@ func benchSweep(b *testing.B, fresh bool) {
 	// Untimed warm-up sweep: populates the per-geometry controller
 	// arena (or, fresh, just faults the allocator paths), so the timed
 	// sweeps run at steady state.
-	if _, err := r.Run(workers, nil); err != nil {
+	if _, err := r.Run(context.Background(), workers, nil); err != nil {
 		b.Fatal(err)
 	}
 	jobs := len(r.Points())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.Run(workers, nil); err != nil {
+		if _, err := r.Run(context.Background(), workers, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -139,7 +140,7 @@ func measureSweepBest(trials int) (engine.ThroughputResult, error) {
 		return engine.ThroughputResult{}, err
 	}
 	workers := runtime.NumCPU()
-	if _, err := r.Run(workers, nil); err != nil {
+	if _, err := r.Run(context.Background(), workers, nil); err != nil {
 		return engine.ThroughputResult{}, err
 	}
 	best := engine.ThroughputResult{
@@ -149,7 +150,7 @@ func measureSweepBest(trials int) (engine.ThroughputResult, error) {
 	}
 	for i := 0; i < trials; i++ {
 		start := time.Now()
-		rows, err := r.Run(workers, nil)
+		rows, err := r.Run(context.Background(), workers, nil)
 		sec := time.Since(start).Seconds()
 		if err != nil {
 			return engine.ThroughputResult{}, err

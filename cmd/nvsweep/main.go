@@ -35,6 +35,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -44,6 +45,7 @@ import (
 	"time"
 
 	"twolm/internal/engine"
+	"twolm/internal/jobspec"
 	"twolm/internal/runcfg"
 	"twolm/internal/sweep"
 )
@@ -51,6 +53,7 @@ import (
 func main() {
 	rc := runcfg.Defaults()
 	rc.Register(flag.CommandLine)
+	rc.RegisterJob(flag.CommandLine)
 	specPath := flag.String("spec", "", "JSON sweep spec file (default: built-in grid)")
 	flag.Parse()
 
@@ -58,6 +61,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nvsweep:", err)
 		os.Exit(1)
 	}
+}
+
+// runJob executes one declared jobspec through the shared
+// sweep.RunJob path, so the job_results artifacts under -out are
+// byte-identical to cmd/repro -job and a simd POST of the same file.
+func runJob(rc runcfg.Common, js *jobspec.Spec) error {
+	ctx := context.Background()
+	if d := js.Timeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := sweep.RunJob(ctx, *js, rc.Parallel, nil)
+	if err != nil {
+		return err
+	}
+	if err := res.Write(rc.Out); err != nil {
+		return err
+	}
+	fmt.Printf("job %q: %d points, %d demand lines, artifacts in %s (%s)\n",
+		res.Spec.Name, len(res.Rows), res.Lines, rc.Out, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // loadSpec resolves the sweep spec: an explicit -spec file wins, then
@@ -90,6 +116,11 @@ func run(rc runcfg.Common, specPath string) error {
 	if err := rc.Validate(); err != nil {
 		return err
 	}
+	if js, err := rc.LoadJob(); err != nil {
+		return err
+	} else if js != nil {
+		return runJob(rc, js)
+	}
 	prom, err := rc.Metrics()
 	if err != nil {
 		return err
@@ -120,7 +151,7 @@ func run(rc runcfg.Common, specPath string) error {
 	}
 
 	start := time.Now()
-	rows, err := runner.Run(rc.Parallel, observe)
+	rows, err := runner.Run(context.Background(), rc.Parallel, observe)
 	elapsed := time.Since(start)
 	if err != nil {
 		return err

@@ -31,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,13 +41,16 @@ import (
 	"time"
 
 	"twolm/internal/engine"
+	"twolm/internal/jobspec"
 	"twolm/internal/runcfg"
+	"twolm/internal/sweep"
 	"twolm/internal/telemetry"
 )
 
 func main() {
 	rc := runcfg.Defaults()
 	rc.Register(flag.CommandLine)
+	rc.RegisterJob(flag.CommandLine)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -120,12 +124,20 @@ func writeArtifact(dir string, a engine.Artifact) error {
 
 // run executes the suite on the worker pool and writes artifacts in
 // job order, so the report reads identically at any worker count.
+// With -job it instead executes the one declared jobspec through the
+// same shared path cmd/nvsweep and cmd/simd use, writing the
+// byte-identical job_results artifacts.
 func run(rc runcfg.Common) error {
 	// Reject bad input up front: the pool reports job errors only after
 	// the whole suite drains, which is the wrong place to learn about a
 	// typo in a flag.
 	if err := rc.Validate(); err != nil {
 		return err
+	}
+	if js, err := rc.LoadJob(); err != nil {
+		return err
+	} else if js != nil {
+		return runJob(rc, js)
 	}
 	prom, err := rc.Metrics()
 	if err != nil {
@@ -159,7 +171,7 @@ func run(rc runcfg.Common) error {
 			prom.AddGauge("jobs_completed", "Experiment jobs completed so far.", 1)
 		}
 	}
-	outs := engine.RunJobsObserved(jobs, rc.Parallel, observe)
+	outs := engine.RunJobsObserved(context.Background(), jobs, rc.Parallel, observe)
 
 	for _, o := range outs {
 		if o.Err != nil {
@@ -177,6 +189,31 @@ func run(rc runcfg.Common) error {
 	}
 
 	fmt.Printf("all artifacts written to %s in %s\n", rc.Out, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runJob executes one declared jobspec end to end through the shared
+// sweep.RunJob path — the same execution every other front end uses,
+// so the artifacts under -out are byte-identical to cmd/nvsweep -job
+// and a simd POST of the same file. A timeout_ms in the spec is
+// honored here too.
+func runJob(rc runcfg.Common, js *jobspec.Spec) error {
+	ctx := context.Background()
+	if d := js.Timeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := sweep.RunJob(ctx, *js, rc.Parallel, nil)
+	if err != nil {
+		return err
+	}
+	if err := res.Write(rc.Out); err != nil {
+		return err
+	}
+	fmt.Printf("job %q: %d points, %d demand lines, artifacts in %s (%s)\n",
+		res.Spec.Name, len(res.Rows), res.Lines, rc.Out, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

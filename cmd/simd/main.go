@@ -1,0 +1,93 @@
+// Command simd is the simulation-as-a-service daemon: the pooled
+// sweep machinery behind a small, versioned HTTP job API, so a fleet
+// of clients can drive design-space exploration without linking the
+// simulator.
+//
+// Usage:
+//
+//	simd [-addr 127.0.0.1:9470] [-workers N] [-queue 1024]
+//	     [-job-parallel 1] [-timeout 30s] [-drain-timeout 5s]
+//
+// API (version 1):
+//
+//	POST /v1/jobs            submit a jobspec JSON document (the same
+//	                         file cmd/repro -job accepts). 202 + id on
+//	                         admission; 400 with per-field violations
+//	                         on an invalid spec; 429 + Retry-After
+//	                         when the admission queue is full; 503
+//	                         once draining.
+//	GET  /v1/jobs/{id}       job status: queued | running | done |
+//	                         failed | timeout | cancelled.
+//	GET  /v1/jobs/{id}/result
+//	                         rendered artifact bytes, byte-identical
+//	                         to cmd/repro -job output for the same
+//	                         spec. ?format=csv|json, ?artifact=trace.
+//	GET  /v1/stats           one-poll fleet aggregate (JSON).
+//	GET  /healthz            200 admitting, 503 draining.
+//	GET  /metrics            Prometheus text exposition of the
+//	                         simd_* fleet gauges.
+//
+// On SIGTERM/SIGINT the daemon drains: admission stops (POST → 503,
+// health → 503), in-flight and queued jobs get -drain-timeout to
+// finish, stragglers are cancelled at their next batch boundary, and
+// the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	cfg := Defaults()
+	addr := flag.String("addr", "127.0.0.1:9470", "HTTP listen address")
+	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "job-executing workers")
+	flag.IntVar(&cfg.QueueDepth, "queue", cfg.QueueDepth, "admission queue depth")
+	flag.IntVar(&cfg.JobParallel, "job-parallel", cfg.JobParallel, "engine workers per job grid")
+	flag.DurationVar(&cfg.DefaultTimeout, "timeout", cfg.DefaultTimeout, "default per-job deadline (0 = none)")
+	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", cfg.DrainTimeout, "grace period for in-flight jobs on shutdown")
+	flag.Parse()
+
+	if err := run(cfg, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg Config, addr string) error {
+	srv := NewServer(cfg)
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	fmt.Printf("simd: serving on http://%s (workers=%d queue=%d)\n", addr, cfg.Workers, cfg.QueueDepth)
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("simd: %s — draining (timeout %s)\n", sig, cfg.DrainTimeout)
+	}
+
+	cancelled := srv.Drain()
+	st := srv.stats()
+	fmt.Printf("simd: drained — %d completed, %d cancelled, %d failed\n",
+		st.Completed, cancelled, st.Failed)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(ctx)
+}

@@ -1,0 +1,517 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twolm/internal/jobspec"
+	"twolm/internal/sweep"
+	"twolm/internal/telemetry"
+)
+
+// Job lifecycle states. The admission/drain state machine is
+// documented in DESIGN.md §4i; transitions are strictly forward:
+//
+//	queued → running → {done, failed, timeout, cancelled}
+//	queued ————————————————————————————→ cancelled   (drain beat the worker to it)
+const (
+	statusQueued    = "queued"
+	statusRunning   = "running"
+	statusDone      = "done"
+	statusFailed    = "failed"
+	statusTimeout   = "timeout"
+	statusCancelled = "cancelled"
+)
+
+// Config sizes the service. The zero value is unusable; Defaults
+// fills in the production shape and tests override what they probe.
+type Config struct {
+	// Workers is the number of job-executing goroutines.
+	Workers int
+	// QueueDepth bounds the admission queue; a POST that finds it
+	// full is rejected with 429 + Retry-After rather than queued
+	// unboundedly.
+	QueueDepth int
+	// JobParallel is the engine worker count each job runs its grid
+	// on (1 = serial; grids admitted to a busy fleet should not
+	// oversubscribe the host).
+	JobParallel int
+	// DefaultTimeout caps a job that declares no timeout_ms of its
+	// own. Zero means no default deadline.
+	DefaultTimeout time.Duration
+	// DrainTimeout is how long Drain lets in-flight jobs finish
+	// before cancelling them.
+	DrainTimeout time.Duration
+	// MaxBodyBytes bounds a POST body.
+	MaxBodyBytes int64
+	// Prom is the fleet-gauge registry, mounted at /metrics. Nil gets
+	// a fresh registry.
+	Prom *telemetry.Prom
+}
+
+// Defaults returns the production configuration.
+func Defaults() Config {
+	return Config{
+		Workers:        2,
+		QueueDepth:     1024,
+		JobParallel:    1,
+		DefaultTimeout: 30 * time.Second,
+		DrainTimeout:   5 * time.Second,
+		MaxBodyBytes:   1 << 20,
+	}
+}
+
+// job is one admitted spec moving through the state machine. The
+// mutable fields are guarded by mu; the id and spec are immutable
+// after admission.
+type job struct {
+	id   string
+	spec *jobspec.Spec
+
+	mu      sync.Mutex
+	status  string
+	errMsg  string
+	result  *sweep.Result
+	elapsed time.Duration
+}
+
+// setStatus transitions the job, recording the error message for
+// failure states.
+func (j *job) setStatus(status, errMsg string) {
+	j.mu.Lock()
+	j.status = status
+	j.errMsg = errMsg
+	j.mu.Unlock()
+}
+
+// Server is the simulation-as-a-service daemon: a bounded admission
+// queue in front of a fixed worker fleet, all jobs recycling pooled
+// controllers through one shared sweep.Arena, with every lifecycle
+// event mirrored onto Prometheus gauges.
+type Server struct {
+	cfg  Config
+	mux  *http.ServeMux
+	pool *sweep.Arena
+	prom *telemetry.Prom
+
+	// baseCtx parents every job context; cancelInflight aborts all
+	// running jobs at their next pass/batch boundary (the drain
+	// deadline path).
+	baseCtx        context.Context
+	cancelInflight context.CancelFunc
+
+	// mu guards jobs, draining, and the admit-vs-close race on queue:
+	// a send and a close may not race, so both happen under mu.
+	mu       sync.Mutex
+	jobs     map[string]*job
+	draining bool
+	queue    chan *job
+
+	wg     sync.WaitGroup
+	nextID atomic.Int64
+
+	// Fleet counters, mirrored to gauges after every transition.
+	admitted  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	rejected  atomic.Int64
+	timedOut  atomic.Int64
+	cancelled atomic.Int64
+	depth     atomic.Int64
+	busy      atomic.Int64
+	lines     atomic.Int64
+
+	start time.Time
+
+	// exec is the job execution seam; tests substitute slow or
+	// panicking executors. Production is sweep.RunJob on the shared
+	// pool.
+	exec func(ctx context.Context, spec *jobspec.Spec) (*sweep.Result, error)
+}
+
+// NewServer assembles the service and starts its worker fleet.
+func NewServer(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 1
+	}
+	if cfg.JobParallel < 1 {
+		cfg.JobParallel = 1
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.Prom == nil {
+		cfg.Prom = telemetry.NewProm()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:            cfg,
+		mux:            http.NewServeMux(),
+		pool:           sweep.NewArena(),
+		prom:           cfg.Prom,
+		baseCtx:        ctx,
+		cancelInflight: cancel,
+		jobs:           make(map[string]*job),
+		queue:          make(chan *job, cfg.QueueDepth),
+		start:          time.Now(),
+	}
+	s.exec = func(ctx context.Context, spec *jobspec.Spec) (*sweep.Result, error) {
+		return sweep.RunJob(ctx, *spec, s.cfg.JobParallel, s.pool)
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /metrics", s.prom)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.publishGauges()
+	return s
+}
+
+// ServeHTTP makes the server mountable under httptest and net/http.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON writes one JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error      string               `json:"error"`
+	Violations []jobspec.FieldError `json:"violations,omitempty"`
+}
+
+// handleSubmit is POST /v1/jobs: strict-decode, validate, admit.
+// Responses: 202 admitted, 400 invalid, 413 oversized body, 429
+// queue full (Retry-After: 1), 503 draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	spec, err := jobspec.Decode(body)
+	if err != nil {
+		var verrs *jobspec.Errors
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(err, &verrs):
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid jobspec", Violations: verrs.Violations})
+		case errors.As(err, &tooBig):
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	j := &job{spec: spec, status: statusQueued}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server is draining; not admitting jobs"})
+		return
+	}
+	// Register before the queue send: a worker may pick the job up
+	// the instant it lands in the channel, and a GET racing that must
+	// find the id.
+	j.id = fmt.Sprintf("j-%08d", s.nextID.Add(1))
+	s.jobs[j.id] = j
+	select {
+	case s.queue <- j:
+		s.depth.Add(1)
+		s.admitted.Add(1)
+		s.mu.Unlock()
+	default:
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		s.publishGauges()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "admission queue full; retry"})
+		return
+	}
+	s.publishGauges()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": statusQueued})
+}
+
+// lookup resolves a job id.
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// statusBody is the GET /v1/jobs/{id} shape.
+type statusBody struct {
+	ID        string `json:"id"`
+	Status    string `json:"status"`
+	Error     string `json:"error,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+	Lines     uint64 `json:"lines,omitempty"`
+	Points    int    `json:"points,omitempty"`
+}
+
+// handleStatus is GET /v1/jobs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job id"})
+		return
+	}
+	j.mu.Lock()
+	b := statusBody{ID: j.id, Status: j.status, Error: j.errMsg, ElapsedMS: j.elapsed.Milliseconds()}
+	if j.result != nil {
+		b.Lines = j.result.Lines
+		b.Points = len(j.result.Rows)
+	}
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, b)
+}
+
+// handleResult is GET /v1/jobs/{id}/result: the job's rendered
+// artifact bytes, exactly as cmd/repro -job would have written them.
+// ?format=json selects the JSON table (default csv); ?artifact=trace
+// selects the bandwidth trace of a traced job. 409 until the job is
+// done; 404 for artifacts the spec did not request.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job id"})
+		return
+	}
+	j.mu.Lock()
+	status, res := j.status, j.result
+	j.mu.Unlock()
+	if status != statusDone {
+		writeJSON(w, http.StatusConflict, errorBody{Error: "job is " + status + ", not done"})
+		return
+	}
+	if res == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "job produced no result"})
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = jobspec.FormatCSV
+	}
+	var data []byte
+	var ctype string
+	switch {
+	case r.URL.Query().Get("artifact") == "trace" && format == jobspec.FormatCSV:
+		data, ctype = res.TraceCSV, "text/csv; charset=utf-8"
+	case r.URL.Query().Get("artifact") == "trace":
+		data, ctype = res.TraceJSON, "application/json"
+	case format == jobspec.FormatCSV:
+		data, ctype = res.CSV, "text/csv; charset=utf-8"
+	default:
+		data, ctype = res.JSON, "application/json"
+	}
+	if data == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "artifact not produced by this job's telemetry section"})
+		return
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// statsBody is the GET /v1/stats aggregate — one poll covers the
+// whole fleet, which is what the load harness watches instead of
+// hammering per-job status endpoints.
+type statsBody struct {
+	Admitted   int64 `json:"admitted"`
+	Completed  int64 `json:"completed"`
+	Failed     int64 `json:"failed"`
+	Rejected   int64 `json:"rejected"`
+	TimedOut   int64 `json:"timed_out"`
+	Cancelled  int64 `json:"cancelled"`
+	QueueDepth int64 `json:"queue_depth"`
+	Busy       int64 `json:"busy_workers"`
+	Lines      int64 `json:"demand_lines"`
+	Draining   bool  `json:"draining"`
+}
+
+func (s *Server) stats() statsBody {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return statsBody{
+		Admitted:   s.admitted.Load(),
+		Completed:  s.completed.Load(),
+		Failed:     s.failed.Load(),
+		Rejected:   s.rejected.Load(),
+		TimedOut:   s.timedOut.Load(),
+		Cancelled:  s.cancelled.Load(),
+		QueueDepth: s.depth.Load(),
+		Busy:       s.busy.Load(),
+		Lines:      s.lines.Load(),
+		Draining:   draining,
+	}
+}
+
+// handleStats is GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats())
+}
+
+// handleHealth is GET /healthz: 200 while admitting, 503 once
+// draining (load balancers pull a draining instance out of rotation).
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// publishGauges mirrors the fleet counters onto the Prometheus
+// registry. Prom locks internally and keeps the latest value per
+// gauge, so concurrent publishers are safe.
+func (s *Server) publishGauges() {
+	p := s.prom
+	p.SetGauge("simd_queue_depth", "Jobs waiting in the admission queue.", float64(s.depth.Load()))
+	p.SetGauge("simd_workers_busy", "Workers currently executing a job.", float64(s.busy.Load()))
+	p.SetGauge("simd_jobs_admitted_total", "Jobs admitted to the queue.", float64(s.admitted.Load()))
+	p.SetGauge("simd_jobs_completed_total", "Jobs completed successfully.", float64(s.completed.Load()))
+	p.SetGauge("simd_jobs_failed_total", "Jobs that failed.", float64(s.failed.Load()))
+	p.SetGauge("simd_jobs_rejected_total", "Jobs rejected with 429 (queue full).", float64(s.rejected.Load()))
+	p.SetGauge("simd_jobs_timeout_total", "Jobs that exceeded their deadline.", float64(s.timedOut.Load()))
+	p.SetGauge("simd_jobs_cancelled_total", "Jobs cancelled by drain.", float64(s.cancelled.Load()))
+	lines := float64(s.lines.Load())
+	p.SetGauge("simd_demand_lines_total", "Demand lines simulated across all completed jobs.", lines)
+	if el := time.Since(s.start).Seconds(); el > 0 {
+		p.SetGauge("simd_bandwidth_lines_per_sec", "Aggregate simulated demand bandwidth since start.", lines/el)
+	}
+}
+
+// worker drains the admission queue until it closes, one job at a
+// time. Panic isolation lives in runJob: a job that panics in spec
+// lowering or execution takes down itself, not the worker or fleet.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.depth.Add(-1)
+		s.busy.Add(1)
+		s.publishGauges()
+		s.runJob(j)
+		s.busy.Add(-1)
+		s.publishGauges()
+	}
+}
+
+// runJob executes one admitted job under its deadline and classifies
+// the outcome.
+func (s *Server) runJob(j *job) {
+	j.setStatus(statusRunning, "")
+	ctx := s.baseCtx
+	timeout := s.cfg.DefaultTimeout
+	if d := j.spec.Timeout(); d > 0 {
+		timeout = d
+	}
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	start := time.Now()
+	res, err := s.execIsolated(ctx, j.spec)
+	elapsed := time.Since(start)
+	cancel()
+
+	j.mu.Lock()
+	j.elapsed = elapsed
+	j.mu.Unlock()
+	switch {
+	case err == nil:
+		j.mu.Lock()
+		j.result = res
+		j.status = statusDone
+		j.mu.Unlock()
+		if res != nil {
+			s.lines.Add(int64(res.Lines))
+		}
+		s.completed.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		j.setStatus(statusTimeout, err.Error())
+		s.timedOut.Add(1)
+	case errors.Is(err, context.Canceled):
+		j.setStatus(statusCancelled, err.Error())
+		s.cancelled.Add(1)
+	default:
+		j.setStatus(statusFailed, err.Error())
+		s.failed.Add(1)
+	}
+}
+
+// execIsolated runs the executor with panic containment — one bad
+// job must not take down the fleet. The engine pool already converts
+// job-closure panics to errors; this guards the lowering and
+// rendering around it too.
+func (s *Server) execIsolated(ctx context.Context, spec *jobspec.Spec) (res *sweep.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	return s.exec(ctx, spec)
+}
+
+// BeginDrain flips the server into drain mode: health goes 503, new
+// POSTs are refused, and the queue is closed so workers exit when
+// it empties. Idempotent.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return
+	}
+	s.draining = true
+	close(s.queue)
+}
+
+// Drain gracefully stops the fleet: stop admitting, give in-flight
+// (and already-queued) jobs the drain timeout to finish, then cancel
+// whatever is still running and wait for the workers to exit. It
+// returns the number of jobs that were cancelled rather than
+// finished.
+func (s *Server) Drain() int64 {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	timeout := s.cfg.DrainTimeout
+	if timeout <= 0 {
+		timeout = time.Millisecond
+	}
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		// Deadline: abort in-flight jobs at their next batch boundary.
+		// Queued-but-unstarted jobs inherit the cancelled context and
+		// classify as cancelled the moment a worker picks them up.
+		s.cancelInflight()
+		<-done
+	}
+	s.publishGauges()
+	return s.cancelled.Load()
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// loadJob is the sustained-throughput workload: a 64 KiB sequential
+// point scaled down 16x (128 demand lines on the closed-form
+// sequential fold), CSV-only so the render cost per job is one row.
+const loadJob = `{
+  "version": 1,
+  "name": "load",
+  "geometry": {"cache_kib": 64},
+  "workload": {"pattern": "sequential", "scale": 16},
+  "telemetry": {"formats": ["csv"]}
+}`
+
+// loadTotal and loadRate are the sustained-throughput acceptance
+// floor: at least this many jobs through the full HTTP path, at at
+// least this aggregate rate, with zero lost or duplicated ids.
+const (
+	loadTotal = 10000
+	loadRate  = 1000.0 // jobs per second
+)
+
+// TestSimdSustainedThroughput drives loadTotal jobs through the real
+// HTTP surface — POST admission (with 429 backpressure retries),
+// fleet execution on the shared controller arena, /v1/stats
+// aggregate polling — and asserts the service sustains loadRate
+// jobs/sec end to end with exact accounting: every submitted id is
+// unique, and admitted == completed with nothing lost to any other
+// terminal state.
+func TestSimdSustainedThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	cfg := Defaults()
+	cfg.Workers = 2
+	cfg.QueueDepth = 1024
+	cfg.DefaultTimeout = 30 * time.Second
+	srv := NewServer(cfg)
+	defer srv.Drain()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const submitters = 4
+	perSubmitter := loadTotal / submitters
+
+	var mu sync.Mutex
+	ids := make(map[string]bool, loadTotal)
+	var retries429 int
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errc := make(chan error, submitters)
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One keep-alive client per submitter: connection reuse is
+			// part of the sustained-throughput claim.
+			client := ts.Client()
+			local := make([]string, 0, perSubmitter)
+			local429 := 0
+			for i := 0; i < perSubmitter; i++ {
+				for {
+					resp, err := client.Post(ts.URL+"/v1/jobs", "application/json",
+						strings.NewReader(loadJob))
+					if err != nil {
+						errc <- err
+						return
+					}
+					var sub struct {
+						ID string `json:"id"`
+					}
+					err = decodeBody(resp, &sub)
+					if resp.StatusCode == http.StatusAccepted && err == nil {
+						local = append(local, sub.ID)
+						break
+					}
+					if resp.StatusCode == http.StatusTooManyRequests {
+						// Backpressure is expected under full queue; yield
+						// to the workers and retry the same job.
+						local429++
+						time.Sleep(500 * time.Microsecond)
+						continue
+					}
+					t.Errorf("POST = %d (%v)", resp.StatusCode, err)
+					return
+				}
+			}
+			mu.Lock()
+			for _, id := range local {
+				if ids[id] {
+					t.Errorf("duplicate job id %s", id)
+				}
+				ids[id] = true
+			}
+			retries429 += local429
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if len(ids) != loadTotal {
+		t.Fatalf("submitted %d unique ids, want %d", len(ids), loadTotal)
+	}
+
+	// Drain to completion, polling the one-request fleet aggregate.
+	var st statsBody
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/v1/stats", &st)
+		if st.Completed+st.Failed+st.TimedOut+st.Cancelled >= loadTotal {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	// Exact accounting: every admitted job completed; nothing lost,
+	// duplicated, or misclassified.
+	if st.Admitted != loadTotal {
+		t.Errorf("admitted = %d, want %d", st.Admitted, loadTotal)
+	}
+	if st.Completed != loadTotal || st.Failed != 0 || st.TimedOut != 0 || st.Cancelled != 0 {
+		t.Errorf("completion accounting off: %+v", st)
+	}
+	if st.QueueDepth != 0 || st.Busy != 0 {
+		t.Errorf("fleet not idle after drain-to-zero: %+v", st)
+	}
+	if st.Lines == 0 {
+		t.Error("no demand lines accumulated")
+	}
+
+	// Spot-check a submitted id end to end (status + artifact bytes).
+	for id := range ids {
+		stj := waitStatus(t, ts, id)
+		if stj.Status != statusDone {
+			t.Errorf("job %s: %q (%s)", id, stj.Status, stj.Error)
+		}
+		break
+	}
+
+	rate := float64(loadTotal) / elapsed.Seconds()
+	t.Logf("%d jobs in %s = %.0f jobs/s (%d backpressure retries, %d demand lines)",
+		loadTotal, elapsed.Round(time.Millisecond), rate, retries429, st.Lines)
+	if rate < loadRate {
+		t.Errorf("sustained %.0f jobs/s, want >= %.0f", rate, loadRate)
+	}
+}
+
+// decodeBody decodes one response body and fully drains it so the
+// keep-alive connection is reusable, then closes it.
+func decodeBody(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	err := json.NewDecoder(resp.Body).Decode(out)
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return err
+}

@@ -170,6 +170,18 @@ func TestRegistryScope(t *testing.T) {
 		}
 	}
 
+	// The jobspec wire format feeds every front end; a wall-clock or
+	// global-rand source there would fan out to byte-different
+	// artifacts everywhere, so it sits in the detrange scope (but is
+	// not a hot-path package).
+	jb := names("twolm/internal/jobspec")
+	if !jb["detrange"] {
+		t.Error("jobspec is the shared wire format; detrange should apply")
+	}
+	if jb["hotdiv"] || jb["counterdrift"] {
+		t.Error("jobspec is not a hot-path or counter package")
+	}
+
 	if got := names("twolm/internal/engine [twolm/internal/engine.test]"); !got["counterdrift"] {
 		t.Error("test-variant unit name should normalize to the engine scope")
 	}

@@ -94,6 +94,11 @@ var deterministicPackages = map[string]bool{
 	// timing lives in callers outside the deterministic scope
 	// (benchmarks, cmd/benchcheck).
 	"twolm/internal/sweep": true,
+	// The jobspec package is the wire format every front end (repro,
+	// nvsweep, simd) lowers through; a nondeterministic source there
+	// would silently fan out to byte-different artifacts everywhere,
+	// so it sits inside the determinism fence too.
+	"twolm/internal/jobspec": true,
 }
 
 var counterPackages = map[string]bool{

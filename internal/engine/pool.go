@@ -9,6 +9,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -30,9 +31,13 @@ type Artifact struct {
 
 // Job is one schedulable experiment: it produces named artifacts and,
 // optionally, the raw counters it measured (for cross-job merges).
+// Run receives the pool's context; a job that can run long must check
+// it at its natural batch boundaries and return ctx.Err() when the
+// run is cancelled (per-job deadlines and server drain depend on it).
+// Jobs that complete in bounded time may ignore it.
 type Job struct {
 	Name string
-	Run  func() ([]Artifact, error)
+	Run  func(ctx context.Context) ([]Artifact, error)
 }
 
 // Outcome is one job's result, in job order.
@@ -49,16 +54,23 @@ type Outcome struct {
 // goroutine. A job panic is converted into that job's Err rather than
 // tearing down the pool.
 func RunJobs(jobs []Job, workers int) []Outcome {
-	return RunJobsObserved(jobs, workers, nil)
+	return RunJobsObserved(context.Background(), jobs, workers, nil)
 }
 
-// RunJobsObserved is RunJobs with a completion callback: observe (when
-// non-nil) is invoked once per job as it finishes, in completion
-// order, from whichever worker goroutine ran the job. Callbacks must
-// therefore be safe for concurrent use when workers > 1 — the
-// intended consumer is live progress reporting (telemetry gauges),
-// which locks internally. The returned outcomes remain in job order.
-func RunJobsObserved(jobs []Job, workers int, observe func(Outcome)) []Outcome {
+// RunJobsObserved is RunJobs with cancellation and a completion
+// callback: observe (when non-nil) is invoked once per job as it
+// finishes, in completion order, from whichever worker goroutine ran
+// the job. Callbacks must therefore be safe for concurrent use when
+// workers > 1 — the intended consumer is live progress reporting
+// (telemetry gauges), which locks internally. The returned outcomes
+// remain in job order.
+//
+// Cancelling ctx stops the run at the next job boundary: jobs not yet
+// started complete immediately with Err = ctx.Err() (observe still
+// fires for them, so progress accounting stays exact), and in-flight
+// jobs see the same ctx through Job.Run so they can stop mid-stream.
+// Every job always has an outcome — cancellation never loses one.
+func RunJobsObserved(ctx context.Context, jobs []Job, workers int, observe func(Outcome)) []Outcome {
 	outs := make([]Outcome, len(jobs))
 	done := func(i int) {
 		if observe != nil {
@@ -67,7 +79,7 @@ func RunJobsObserved(jobs []Job, workers int, observe func(Outcome)) []Outcome {
 	}
 	if workers < 2 {
 		for i := range jobs {
-			outs[i] = runOne(jobs[i])
+			outs[i] = runOne(ctx, jobs[i])
 			done(i)
 		}
 		return outs
@@ -84,7 +96,7 @@ func RunJobsObserved(jobs []Job, workers int, observe func(Outcome)) []Outcome {
 			for i := range idx {
 				// Distinct jobs write distinct slice elements; no
 				// further synchronization is needed.
-				outs[i] = runOne(jobs[i])
+				outs[i] = runOne(ctx, jobs[i])
 				done(i)
 			}
 		}()
@@ -97,18 +109,25 @@ func RunJobsObserved(jobs []Job, workers int, observe func(Outcome)) []Outcome {
 	return outs
 }
 
-// runOne executes a single job, converting panics to errors.
-func runOne(j Job) (out Outcome) {
+// runOne executes a single job, converting panics to errors. A job
+// whose context is already cancelled is skipped outright — its
+// outcome carries ctx.Err() — so a cancelled grid drains in O(jobs)
+// slice writes instead of running every remaining point to completion.
+func runOne(ctx context.Context, j Job) (out Outcome) {
+	out.Job = j.Name
+	if err := ctx.Err(); err != nil {
+		out.Err = err
+		return out
+	}
 	//lint:ignore detrange Outcome.Elapsed is a wall-clock measurement of the simulator itself, not simulated state
 	start := time.Now()
-	out.Job = j.Name
 	defer func() {
 		out.Elapsed = time.Since(start)
 		if r := recover(); r != nil {
 			out.Err = fmt.Errorf("engine: job %q panicked: %v", j.Name, r)
 		}
 	}()
-	out.Artifacts, out.Err = j.Run()
+	out.Artifacts, out.Err = j.Run(ctx)
 	return out
 }
 

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -17,7 +18,7 @@ func countingJobs(n int, ran *atomic.Int64) []Job {
 	jobs := make([]Job, n)
 	for i := 0; i < n; i++ {
 		i := i
-		jobs[i] = Job{Name: fmt.Sprintf("job%02d", i), Run: func() ([]Artifact, error) {
+		jobs[i] = Job{Name: fmt.Sprintf("job%02d", i), Run: func(context.Context) ([]Artifact, error) {
 			ran.Add(1)
 			t := results.NewTable(fmt.Sprintf("table %d", i), "col")
 			return []Artifact{{Name: fmt.Sprintf("art%02d", i), Table: t}}, nil
@@ -56,9 +57,9 @@ func TestRunJobsOrderIndependent(t *testing.T) {
 func TestRunJobsErrorIsolation(t *testing.T) {
 	sentinel := errors.New("boom")
 	jobs := []Job{
-		{Name: "ok1", Run: func() ([]Artifact, error) { return nil, nil }},
-		{Name: "bad", Run: func() ([]Artifact, error) { return nil, sentinel }},
-		{Name: "ok2", Run: func() ([]Artifact, error) { return nil, nil }},
+		{Name: "ok1", Run: func(context.Context) ([]Artifact, error) { return nil, nil }},
+		{Name: "bad", Run: func(context.Context) ([]Artifact, error) { return nil, sentinel }},
+		{Name: "ok2", Run: func(context.Context) ([]Artifact, error) { return nil, nil }},
 	}
 	outs := RunJobs(jobs, 3)
 	if outs[0].Err != nil || outs[2].Err != nil {
@@ -77,8 +78,8 @@ func TestRunJobsErrorIsolation(t *testing.T) {
 // rather than tearing down the pool.
 func TestRunJobsPanicRecovered(t *testing.T) {
 	jobs := []Job{
-		{Name: "panics", Run: func() ([]Artifact, error) { panic("kaboom") }},
-		{Name: "fine", Run: func() ([]Artifact, error) { return nil, nil }},
+		{Name: "panics", Run: func(context.Context) ([]Artifact, error) { panic("kaboom") }},
+		{Name: "fine", Run: func(context.Context) ([]Artifact, error) { return nil, nil }},
 	}
 	outs := RunJobs(jobs, 2)
 	if outs[0].Err == nil || !strings.Contains(outs[0].Err.Error(), "kaboom") {
@@ -86,6 +87,49 @@ func TestRunJobsPanicRecovered(t *testing.T) {
 	}
 	if outs[1].Err != nil {
 		t.Errorf("sibling failed: %v", outs[1].Err)
+	}
+}
+
+// TestRunJobsObservedCancelled: cancelling the pool context stops the
+// run at the next job boundary, every job still gets an outcome (and
+// an observe callback), and skipped jobs carry ctx.Err().
+func TestRunJobsObservedCancelled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran, observed atomic.Int64
+		jobs := make([]Job, 50)
+		for i := range jobs {
+			jobs[i] = Job{Name: fmt.Sprintf("job%02d", i), Run: func(ctx context.Context) ([]Artifact, error) {
+				// Cancel from inside job 0 so at least one job ran and
+				// at least the not-yet-started tail is skipped.
+				cancel()
+				ran.Add(1)
+				return nil, ctx.Err()
+			}}
+		}
+		outs := RunJobsObserved(ctx, jobs, workers, func(Outcome) { observed.Add(1) })
+		cancel()
+		if len(outs) != len(jobs) {
+			t.Fatalf("workers=%d: %d outcomes for %d jobs", workers, len(outs), len(jobs))
+		}
+		if observed.Load() != int64(len(jobs)) {
+			t.Errorf("workers=%d: observe fired %d times, want %d", workers, observed.Load(), len(jobs))
+		}
+		if ran.Load() >= int64(len(jobs)) {
+			t.Errorf("workers=%d: cancellation skipped nothing (%d ran)", workers, ran.Load())
+		}
+		var skipped int
+		for i, o := range outs {
+			if o.Job != jobs[i].Name {
+				t.Fatalf("workers=%d: outcome %d is %q, want %q", workers, i, o.Job, jobs[i].Name)
+			}
+			if errors.Is(o.Err, context.Canceled) {
+				skipped++
+			}
+		}
+		if skipped == 0 {
+			t.Errorf("workers=%d: no outcome carries context.Canceled", workers)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"twolm/internal/experiments"
@@ -58,7 +59,7 @@ func DefaultSuiteConfig(scale uint64, quick bool) SuiteConfig {
 // tableJob wraps a single-table experiment as a job with one artifact
 // named like the experiment.
 func tableJob(name string, fn func() (*results.Table, error)) Job {
-	return Job{Name: name, Run: func() ([]Artifact, error) {
+	return Job{Name: name, Run: func(context.Context) ([]Artifact, error) {
 		t, err := fn()
 		if err != nil {
 			return nil, err
@@ -88,7 +89,7 @@ func Suite(cfg SuiteConfig) []Job {
 		tableJob("fig4c_rmw_ddo", fig4(experiments.Fig4c)),
 
 		// CNN case study: Figures 5, 6, 10 and Table II.
-		{Name: "fig5_densenet", Run: func() ([]Artifact, error) {
+		{Name: "fig5_densenet", Run: func(context.Context) ([]Artifact, error) {
 			r, err := experiments.Fig5(cnn)
 			if err != nil {
 				return nil, err
@@ -101,7 +102,7 @@ func Suite(cfg SuiteConfig) []Job {
 			}, nil
 		}},
 		tableJob("fig6_dense_block_kernels", func() (*results.Table, error) { return experiments.Fig6(cnn) }),
-		{Name: "fig10_autotm", Run: func() ([]Artifact, error) {
+		{Name: "fig10_autotm", Run: func(context.Context) ([]Artifact, error) {
 			r, err := experiments.Fig10(cnn)
 			if err != nil {
 				return nil, err
@@ -118,7 +119,7 @@ func Suite(cfg SuiteConfig) []Job {
 
 		// Graph case study: Figures 7, 8, 9 and the Sage table. One job:
 		// the figures share a single Study's runs.
-		{Name: "graph_study", Run: func() ([]Artifact, error) {
+		{Name: "graph_study", Run: func(context.Context) ([]Artifact, error) {
 			study, err := experiments.RunGraphStudy(gcfg)
 			if err != nil {
 				return nil, err
@@ -146,7 +147,7 @@ func Suite(cfg SuiteConfig) []Job {
 
 		// Final acceptance pass: the paper's claims, re-verified. A
 		// failed claim fails the job (and with it the suite).
-		{Name: "claims_check", Run: func() ([]Artifact, error) {
+		{Name: "claims_check", Run: func(context.Context) ([]Artifact, error) {
 			t, claims, err := experiments.CheckClaims(micro, cnn, gcfg)
 			if err != nil {
 				return nil, err

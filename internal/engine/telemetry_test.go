@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 
@@ -274,12 +275,12 @@ func TestShardedSnapshotChannels(t *testing.T) {
 func TestRunJobsObserved(t *testing.T) {
 	jobs := make([]Job, 8)
 	for i := range jobs {
-		jobs[i] = Job{Name: string(rune('a' + i)), Run: func() ([]Artifact, error) { return nil, nil }}
+		jobs[i] = Job{Name: string(rune('a' + i)), Run: func(context.Context) ([]Artifact, error) { return nil, nil }}
 	}
 	for _, workers := range []int{1, 4} {
 		var seen int
 		var mu sync.Mutex
-		outs := RunJobsObserved(jobs, workers, func(o Outcome) {
+		outs := RunJobsObserved(context.Background(), jobs, workers, func(o Outcome) {
 			mu.Lock()
 			seen++
 			mu.Unlock()

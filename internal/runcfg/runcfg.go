@@ -40,6 +40,9 @@ type Common struct {
 	// MetricsAddr, when nonempty, is the listen address of the
 	// Prometheus /metrics endpoint.
 	MetricsAddr string
+	// Job, when nonempty, is the path of a jobspec JSON file that
+	// replaces the loose workload flags (see RegisterJob/LoadJob).
+	Job string
 
 	// BoundAddr is filled in by Metrics with the address the listener
 	// actually bound — it differs from MetricsAddr when the requested

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -10,6 +11,7 @@ import (
 	"twolm/internal/lfsr"
 	"twolm/internal/mem"
 	"twolm/internal/nvram"
+	"twolm/internal/telemetry"
 )
 
 // batchLines is the random-pattern staging size: indices are drawn
@@ -19,37 +21,45 @@ const batchLines = 2048
 
 // rig is one pooled execution context: a controller plus the
 // fixed-size scratch the random pattern stages requests through. Rigs
-// never migrate between geometry classes — geom is fixed at build —
-// and a released rig is Reset before it re-enters the arena, so an
-// acquired rig is always observationally identical to a fresh one.
+// never migrate between geometry classes — the class is fixed at
+// build — and a released rig is Reset before it re-enters the arena,
+// so an acquired rig is always observationally identical to a fresh
+// one.
 type rig struct {
-	geom *Geometry
+	id   classID
 	ctrl *imc.Controller
 	idx  [batchLines]uint32
 	reqs [batchLines]imc.Req
 }
 
-// arena is the sync.Pool-style controller store behind job execution:
-// free rigs keyed by canonical geometry class. Unlike sync.Pool it
-// never discards rigs under GC pressure — the whole point is that a
-// 1000-job sweep allocates one rig per (class, concurrently active
-// worker), not one per job — and it keys by the canonical *Geometry
-// from Expand, so even a Geometry.Key hash collision could not hand a
-// job a wrong-shaped controller.
-type arena struct {
+// Arena is the sync.Pool-style controller store behind job execution:
+// free rigs keyed by exact geometry class identity. Unlike sync.Pool
+// it never discards rigs under GC pressure — the whole point is that
+// a 1000-job sweep allocates one rig per (class, concurrently active
+// worker), not one per job. It keys by the comparable classID (every
+// field that shapes controller allocation, compared by value), so
+// even a Geometry.Key hash collision could not hand a job a
+// wrong-shaped controller — and because the key is a value, not a
+// per-expansion pointer, independent Runners can share one Arena:
+// cmd/simd hands every admitted job the same fleet-wide pool, and
+// jobs repeating a popular geometry skip construction entirely.
+type Arena struct {
 	mu   sync.Mutex
-	free map[*Geometry][]*rig
+	free map[classID][]*rig
 }
+
+// NewArena returns an empty controller pool.
+func NewArena() *Arena { return &Arena{} }
 
 // acquire returns a ready rig for the class, recycling a pooled one
 // when available. With fresh set it always constructs — the naive
 // baseline BenchmarkSweepThroughputFresh measures against.
-func (a *arena) acquire(g *Geometry, fresh bool) (*rig, error) {
+func (a *Arena) acquire(g *Geometry, fresh bool) (*rig, error) {
 	if !fresh {
 		a.mu.Lock()
-		if rigs := a.free[g]; len(rigs) > 0 {
+		if rigs := a.free[g.id]; len(rigs) > 0 {
 			rg := rigs[len(rigs)-1]
-			a.free[g] = rigs[:len(rigs)-1]
+			a.free[g.id] = rigs[:len(rigs)-1]
 			a.mu.Unlock()
 			return rg, nil
 		}
@@ -58,19 +68,22 @@ func (a *arena) acquire(g *Geometry, fresh bool) (*rig, error) {
 	return buildRig(g)
 }
 
-// release resets the rig and returns it to the class's free list. In
-// fresh mode the rig is dropped for the GC to reclaim, like the naive
-// one-controller-per-job runner this mode reproduces.
-func (a *arena) release(rg *rig, fresh bool) {
+// release resets the rig and returns it to the class's free list —
+// including rigs whose job was cancelled mid-pass, which is why the
+// Reset here (not in acquire) is load-bearing: a rig re-enters the
+// arena only in the as-constructed state. In fresh mode the rig is
+// dropped for the GC to reclaim, like the naive one-controller-per-job
+// runner this mode reproduces.
+func (a *Arena) release(rg *rig, fresh bool) {
 	if fresh {
 		return
 	}
 	rg.ctrl.Reset()
 	a.mu.Lock()
 	if a.free == nil {
-		a.free = make(map[*Geometry][]*rig)
+		a.free = make(map[classID][]*rig)
 	}
-	a.free[rg.geom] = append(a.free[rg.geom], rg)
+	a.free[rg.id] = append(a.free[rg.id], rg)
 	a.mu.Unlock()
 }
 
@@ -90,7 +103,7 @@ func buildRig(g *Geometry) (*rig, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sweep: %w", err)
 	}
-	return &rig{geom: g, ctrl: ctrl}, nil
+	return &rig{id: g.id, ctrl: ctrl}, nil
 }
 
 // Runner executes an expanded sweep on the engine worker pool. Build
@@ -104,11 +117,26 @@ type Runner struct {
 	// for real sweeps.
 	Fresh bool
 
+	// Pool is the controller arena jobs acquire rigs from. New
+	// installs a private arena; replace it (before the first Run)
+	// to share pooled controllers across runners, the way the simd
+	// service shares one fleet-wide arena across every admitted job.
+	Pool *Arena
+
+	// Trace, when non-nil, attaches a telemetry sink to each point's
+	// controller, sampled every TraceEvery demand lines and flushed
+	// after the final pass — the Figure 5-9-style bandwidth-trace
+	// artifact. Sinks see points in execution order, so tracing is
+	// only deterministic for single-point runs on one worker; RunJob
+	// enforces that, and multi-point grids leave it nil.
+	Trace telemetry.Sink
+	// TraceEvery is the Trace sampling interval in demand lines.
+	TraceEvery uint64
+
 	spec   Spec
 	points []Point
 	rows   []Row
 	jobs   []engine.Job
-	pool   arena
 }
 
 // New expands and validates the spec and prepares the reusable job
@@ -124,6 +152,7 @@ func New(spec Spec) (*Runner, error) {
 		return nil, fmt.Errorf("sweep: spec %q expands to no points", spec.Name)
 	}
 	r := &Runner{
+		Pool:   NewArena(),
 		spec:   spec.Normalized(),
 		points: points,
 		rows:   make([]Row, len(points)),
@@ -134,8 +163,8 @@ func New(spec Spec) (*Runner, error) {
 		row := &r.rows[i]
 		r.jobs[i] = engine.Job{
 			Name: pointName(p),
-			Run: func() ([]engine.Artifact, error) {
-				return nil, r.executePoint(p, row)
+			Run: func(ctx context.Context) ([]engine.Artifact, error) {
+				return nil, r.executePoint(ctx, p, row)
 			},
 		}
 	}
@@ -164,72 +193,113 @@ func (r *Runner) Spec() Spec { return r.spec }
 // completion order (progress gauges; anything order-sensitive belongs
 // on the rows). The returned slice is the runner's own row storage and
 // is overwritten by the next Run.
-func (r *Runner) Run(workers int, observe func(engine.Outcome)) ([]Row, error) {
-	outs := engine.RunJobsObserved(r.jobs, workers, observe)
+//
+// Cancelling ctx (a per-job deadline, a server drain) stops the grid:
+// in-flight points stop at their next pass or batch boundary, pending
+// points are skipped, and every rig goes back to the arena through
+// release — i.e. Reset-clean — so a cancelled run can never leak a
+// dirty controller into the pool. The error is ctx.Err.
+func (r *Runner) Run(ctx context.Context, workers int, observe func(engine.Outcome)) ([]Row, error) {
+	outs := engine.RunJobsObserved(ctx, r.jobs, workers, observe)
 	return r.rows, engine.FirstError(outs)
 }
 
 // executePoint runs one point on a pooled (or, under Fresh, newly
 // built) rig and writes its result row. The row write is a whole-value
 // store of fields already resolved at expansion, so the only per-job
-// heap traffic in steady state is none at all.
+// heap traffic in steady state is none at all. The rig is released on
+// every exit path — success, pattern error, cancellation — because
+// release is where the Reset that keeps the arena clean lives.
 //
 //hot:entry sweep workers execute points concurrently on the shared rig pool
 //alloc:free 0 steady-state allocs/job is the pooled-runner contract (PR 7)
-func (r *Runner) executePoint(p *Point, row *Row) error {
-	rg, err := r.pool.acquire(p.Geom, r.Fresh)
+func (r *Runner) executePoint(ctx context.Context, p *Point, row *Row) error {
+	rg, err := r.Pool.acquire(p.Geom, r.Fresh)
 	if err != nil {
 		return err
 	}
+	if r.Trace != nil {
+		rg.ctrl.SetTelemetry(r.Trace, r.TraceEvery)
+	}
+	err = r.runPasses(ctx, rg, p)
+	if err == nil {
+		g := p.Geom
+		ctr := rg.ctrl.Counters()
+		*row = Row{
+			Index:       p.Index,
+			CacheKiB:    g.CacheKiB,
+			Ways:        g.Policy.Ways,
+			Policy:      g.PolicyName,
+			Channels:    g.Channels,
+			DIMMs:       g.DIMMs,
+			Ratio:       g.Ratio,
+			Pattern:     p.Pattern,
+			Seed:        p.Seed,
+			Passes:      p.Passes,
+			Lines:       ctr.Demand(),
+			Counters:    ctr,
+			MediaReads:  rg.ctrl.NVRAM.TotalMediaReads(),
+			MediaWrites: rg.ctrl.NVRAM.TotalMediaWrites(),
+		}
+		if r.Trace != nil {
+			rg.ctrl.FlushTelemetry()
+		}
+	}
+	if r.Trace != nil {
+		// Detach before the rig re-enters the arena: Reset restarts
+		// the sampling phase but deliberately keeps the sink, and a
+		// pooled rig must not stream one job's telemetry into the
+		// next job's run.
+		rg.ctrl.SetTelemetry(nil, 0)
+	}
+	r.Pool.release(rg, r.Fresh)
+	return err
+}
+
+// runPasses issues the point's demand stream, checking for
+// cancellation at every pass boundary (and, inside random passes, at
+// every staged batch).
+func (r *Runner) runPasses(ctx context.Context, rg *rig, p *Point) error {
 	g := p.Geom
 	switch p.kind {
 	case patSequential:
 		for pass := 0; pass < p.Passes; pass++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			rg.ctrl.LLCReadRange(0, g.PassLines)
 			rg.ctrl.LLCWriteRange(0, g.PassLines)
 		}
 	case patWrite:
 		for pass := 0; pass < p.Passes; pass++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			rg.ctrl.LLCWriteRange(0, g.PassLines)
 		}
 	case patRandom:
 		for pass := 0; pass < p.Passes; pass++ {
-			if err := r.randomPass(rg, g, p.Seed); err != nil {
+			if err := r.randomPass(ctx, rg, g, p.Seed); err != nil {
 				return err
 			}
 		}
 	}
-	ctr := rg.ctrl.Counters()
-	*row = Row{
-		Index:       p.Index,
-		CacheKiB:    g.CacheKiB,
-		Ways:        g.Policy.Ways,
-		Policy:      g.PolicyName,
-		Channels:    g.Channels,
-		DIMMs:       g.DIMMs,
-		Ratio:       g.Ratio,
-		Pattern:     p.Pattern,
-		Seed:        p.Seed,
-		Passes:      p.Passes,
-		Lines:       ctr.Demand(),
-		Counters:    ctr,
-		MediaReads:  rg.ctrl.NVRAM.TotalMediaReads(),
-		MediaWrites: rg.ctrl.NVRAM.TotalMediaWrites(),
-	}
-	r.pool.release(rg, r.Fresh)
 	return nil
 }
 
 // randomPass issues one LFSR-ordered pass: PassLines demand lines
 // drawn from the full footprint, alternating read and write, staged
 // through the rig's fixed buffers into the batched scatter path.
-func (r *Runner) randomPass(rg *rig, g *Geometry, seed uint32) error {
+func (r *Runner) randomPass(ctx context.Context, rg *rig, g *Geometry, seed uint32) error {
 	s, err := lfsr.NewStream(g.Lines, seed)
 	if err != nil {
 		return fmt.Errorf("sweep: %w", err)
 	}
 	var emitted uint64
 	for emitted < g.PassLines {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		n, err := s.Fill(rg.idx[:])
 		if err != nil {
 			return fmt.Errorf("sweep: %w", err)

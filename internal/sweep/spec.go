@@ -26,105 +26,84 @@ import (
 	"fmt"
 
 	"twolm/internal/imc"
+	"twolm/internal/jobspec"
 	"twolm/internal/mem"
 )
 
-// Pattern names accepted by Spec.Patterns.
+// Pattern names accepted by Spec.Patterns — aliases of the canonical
+// jobspec definitions so existing callers keep compiling.
 const (
-	// PatternSequential streams a demand-read pass followed by a
-	// writeback pass over the footprint — the paper's streaming
-	// regime.
-	PatternSequential = "sequential"
-	// PatternRandom issues an LFSR-ordered read/write mix over the
-	// footprint — the paper's random-access regime.
-	PatternRandom = "random"
-	// PatternWrite streams writeback-only passes — the NT-store
-	// regime that exercises DDO and write-allocate policy.
-	PatternWrite = "write"
+	PatternSequential = jobspec.PatternSequential
+	PatternRandom     = jobspec.PatternRandom
+	PatternWrite      = jobspec.PatternWrite
 )
 
 // Policy ablation names accepted by Spec.Policies, matching the
-// acceptance matrix used by the differential tests since PR 2.
+// acceptance matrix used by the differential tests since PR 2 —
+// aliases of the canonical jobspec definitions.
 const (
-	PolicyHardware        = "hardware"
-	PolicyNoWriteAllocate = "no-write-allocate"
-	PolicyNoReadAllocate  = "no-read-allocate"
-	PolicyDDOOff          = "ddo-off"
+	PolicyHardware        = jobspec.PolicyHardware
+	PolicyNoWriteAllocate = jobspec.PolicyNoWriteAllocate
+	PolicyNoReadAllocate  = jobspec.PolicyNoReadAllocate
+	PolicyDDOOff          = jobspec.PolicyDDOOff
 )
 
-// Spec is a declarative sweep: each field is one axis, and the sweep
-// is the cross product. Zero-value axes are filled by Normalized with
+// Spec is a declarative sweep: a name plus the canonical jobspec grid
+// axes. Each axis field is one axis and the sweep is the cross
+// product; zero-value axes are filled by Normalized with
 // single-element defaults, so a minimal spec names only the axes it
-// varies. JSON tags define the cmd/nvsweep -spec file format.
+// varies. The embedded jobspec.Axes carries the JSON field set, so
+// the cmd/nvsweep -spec file format IS the `sweep` section of a
+// versioned jobspec document — one grid description, two containers.
 type Spec struct {
 	// Name labels the sweep in artifacts and progress gauges.
 	Name string `json:"name,omitempty"`
 
-	// CacheKiB is the DRAM-cache capacity axis, in KiB per
-	// controller. Required: it is the one axis without a default.
-	CacheKiB []uint64 `json:"cache_kib"`
-	// Ways is the tag-store associativity axis (default 1, the
-	// Cascade Lake direct-mapped hardware).
-	Ways []int `json:"ways,omitempty"`
-	// Policies is the allocation-policy ablation axis (default
-	// hardware). See the Policy* constants.
-	Policies []string `json:"policies,omitempty"`
-	// Channels is the DRAM channel-count axis (default 1).
-	Channels []int `json:"channels,omitempty"`
-	// DIMMs is the NVRAM DIMM-count axis (default 1).
-	DIMMs []int `json:"dimms,omitempty"`
-	// Ratios is the NVRAM:DRAM capacity-ratio axis (default 2): the
-	// workload footprint is Ratio x the cache capacity, so every
-	// ratio >= 2 runs the paper's miss-heavy regime.
-	Ratios []uint64 `json:"ratios,omitempty"`
-	// Patterns is the workload-pattern axis (default sequential).
-	Patterns []string `json:"patterns,omitempty"`
-	// Seeds is the random-pattern seed axis (default 0x2B1A, the
-	// throughput benchmark seed). Only PatternRandom points vary by
-	// seed; other patterns are seed-independent and expand once,
-	// pinned to Seeds[0].
-	Seeds []uint32 `json:"seeds,omitempty"`
-
-	// Passes is how many times each point repeats its pattern
-	// (default 1).
-	Passes int `json:"passes,omitempty"`
-	// SampleLines, when nonzero, caps the demand lines each pass
-	// touches. Design-space sweeps bound per-point cost this way: the
-	// measurement samples the footprint instead of scaling with it,
-	// so a point over a 1 GiB footprint costs the same as one over
-	// 16 MiB. Random passes draw the sample from the whole footprint
-	// (the LFSR order spreads it); sequential and write passes
-	// truncate the stream.
-	SampleLines uint64 `json:"sample_lines,omitempty"`
+	jobspec.Axes
 }
 
-// Normalized returns the spec with every defaultable axis filled in.
+// Normalized returns the spec with every defaultable axis filled in
+// (the shared jobspec defaulting rule).
 func (s Spec) Normalized() Spec {
-	if len(s.Ways) == 0 {
-		s.Ways = []int{1}
-	}
-	if len(s.Policies) == 0 {
-		s.Policies = []string{PolicyHardware}
-	}
-	if len(s.Channels) == 0 {
-		s.Channels = []int{1}
-	}
-	if len(s.DIMMs) == 0 {
-		s.DIMMs = []int{1}
-	}
-	if len(s.Ratios) == 0 {
-		s.Ratios = []uint64{2}
-	}
-	if len(s.Patterns) == 0 {
-		s.Patterns = []string{PatternSequential}
-	}
-	if len(s.Seeds) == 0 {
-		s.Seeds = []uint32{0x2B1A}
-	}
-	if s.Passes == 0 {
-		s.Passes = 1
-	}
+	s.Axes = s.Axes.Normalized()
 	return s
+}
+
+// FromSpec lowers a validated jobspec document into the sweep's axis
+// form — the one conversion every consumer (cmd/repro -job,
+// cmd/nvsweep -job, cmd/simd) shares, which is what makes their result
+// artifacts byte-identical for the same spec file. A grid spec maps
+// axis-for-axis; a single-point spec becomes a one-point grid, with
+// the workload's power-of-two Scale divisor lowered onto SampleLines
+// (footprint/Scale demand lines per pass — the -scale flag semantics).
+func FromSpec(j jobspec.Spec) (Spec, error) {
+	if err := j.Validate(); err != nil {
+		return Spec{}, err
+	}
+	n := j.Normalized()
+	if n.Sweep != nil {
+		return Spec{Name: n.Name, Axes: *n.Sweep}, nil
+	}
+	g, w := n.Geometry, n.Workload
+	ax := jobspec.Axes{
+		CacheKiB: []uint64{g.CacheKiB},
+		Ways:     []int{g.Ways},
+		Policies: []string{n.Policy},
+		Channels: []int{g.Channels},
+		DIMMs:    []int{g.DIMMs},
+		Ratios:   []uint64{w.Ratio},
+		Patterns: []string{w.Pattern},
+		Seeds:    []uint32{w.Seed},
+		Passes:   w.Passes,
+	}
+	if w.Scale > 1 {
+		lines := g.CacheKiB * 1024 / mem.Line * w.Ratio
+		ax.SampleLines = lines / w.Scale
+		if ax.SampleLines == 0 {
+			ax.SampleLines = 1
+		}
+	}
+	return Spec{Name: n.Name, Axes: ax}, nil
 }
 
 // policyFor maps an ablation name onto the controller policy at the
@@ -193,6 +172,13 @@ type Geometry struct {
 	CacheLines uint64
 	Lines      uint64
 	PassLines  uint64
+
+	// id is the exact-value class identity the controller Arena keys
+	// by, set once by resolveClass. Keying the pool by value (not by
+	// the *Geometry pointer) is what lets independent Runners — every
+	// job the simd service admits builds its own — share one pooled
+	// fleet of controllers.
+	id classID
 }
 
 // Key returns the class's stable FNV-1a geometry hash — the arena and
@@ -233,10 +219,11 @@ func (g *Geometry) Key() uint64 {
 }
 
 // classID is the comparable exact-value identity used to dedupe
-// geometry classes during expansion. The pool itself is keyed by the
-// canonical *Geometry this produces, so a (vanishingly unlikely) hash
-// collision in Key could mislabel a class but can never hand a job a
-// wrong-geometry controller.
+// geometry classes during expansion and to key the controller Arena.
+// Because it compares every field that shapes controller allocation
+// exactly, a (vanishingly unlikely) hash collision in Key could
+// mislabel a class but can never hand a job a wrong-geometry
+// controller.
 type classID struct {
 	cacheBytes uint64
 	nvramBytes uint64
@@ -353,6 +340,7 @@ func resolveClass(classes map[classID]*Geometry, s Spec, kib uint64, ways int, p
 		PolicyName: polName,
 		Policy:     pol,
 		CacheLines: cacheBytes / mem.Line,
+		id:         id,
 	}
 	g.Lines = g.NVRAMBytes / mem.Line
 	g.PassLines = g.Lines
@@ -368,14 +356,16 @@ func resolveClass(classes map[classID]*Geometry, s Spec, kib uint64, ways int, p
 // over both stream shapes. 432 points.
 func DefaultSpec() Spec {
 	return Spec{
-		Name:     "default",
-		CacheKiB: []uint64{256, 512, 1024},
-		Ways:     []int{1, 4},
-		Policies: []string{PolicyHardware, PolicyNoWriteAllocate, PolicyNoReadAllocate, PolicyDDOOff},
-		Channels: []int{1, 6},
-		Ratios:   []uint64{2, 4, 8},
-		Patterns: []string{PatternSequential, PatternRandom},
-		Passes:   1,
+		Name: "default",
+		Axes: jobspec.Axes{
+			CacheKiB: []uint64{256, 512, 1024},
+			Ways:     []int{1, 4},
+			Policies: []string{PolicyHardware, PolicyNoWriteAllocate, PolicyNoReadAllocate, PolicyDDOOff},
+			Channels: []int{1, 6},
+			Ratios:   []uint64{2, 4, 8},
+			Patterns: []string{PatternSequential, PatternRandom},
+			Passes:   1,
+		},
 	}
 }
 
@@ -383,13 +373,15 @@ func DefaultSpec() Spec {
 // policy, two worker-visible geometry axes. 48 points, sub-second.
 func QuickSpec() Spec {
 	return Spec{
-		Name:     "quick",
-		CacheKiB: []uint64{64, 128},
-		Ways:     []int{1, 4},
-		Policies: []string{PolicyHardware, PolicyNoWriteAllocate, PolicyNoReadAllocate, PolicyDDOOff},
-		Ratios:   []uint64{2},
-		Patterns: []string{PatternSequential, PatternRandom, PatternWrite},
-		Passes:   1,
+		Name: "quick",
+		Axes: jobspec.Axes{
+			CacheKiB: []uint64{64, 128},
+			Ways:     []int{1, 4},
+			Policies: []string{PolicyHardware, PolicyNoWriteAllocate, PolicyNoReadAllocate, PolicyDDOOff},
+			Ratios:   []uint64{2},
+			Patterns: []string{PatternSequential, PatternRandom, PatternWrite},
+			Passes:   1,
+		},
 	}
 }
 
@@ -405,14 +397,16 @@ func BenchmarkSpec() Spec {
 		seeds[i] = 0x2B1A + uint32(i)*0x9E37
 	}
 	return Spec{
-		Name:        "bench",
-		CacheKiB:    []uint64{2048, 4096},
-		Ways:        []int{1, 4},
-		Policies:    []string{PolicyHardware, PolicyNoWriteAllocate, PolicyNoReadAllocate, PolicyDDOOff},
-		Ratios:      []uint64{4},
-		Patterns:    []string{PatternRandom},
-		Seeds:       seeds,
-		Passes:      1,
-		SampleLines: 4096,
+		Name: "bench",
+		Axes: jobspec.Axes{
+			CacheKiB:    []uint64{2048, 4096},
+			Ways:        []int{1, 4},
+			Policies:    []string{PolicyHardware, PolicyNoWriteAllocate, PolicyNoReadAllocate, PolicyDDOOff},
+			Ratios:      []uint64{4},
+			Patterns:    []string{PatternRandom},
+			Seeds:       seeds,
+			Passes:      1,
+			SampleLines: 4096,
+		},
 	}
 }

@@ -2,10 +2,13 @@ package sweep
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 
 	"twolm/internal/engine"
+	"twolm/internal/jobspec"
 	"twolm/internal/telemetry"
 )
 
@@ -14,14 +17,16 @@ import (
 // granularity.
 func testSpec() Spec {
 	return Spec{
-		Name:     "test",
-		CacheKiB: []uint64{64, 128},
-		Ways:     []int{1, 4},
-		Policies: []string{PolicyHardware, PolicyNoWriteAllocate, PolicyNoReadAllocate, PolicyDDOOff},
-		Ratios:   []uint64{2},
-		Patterns: []string{PatternSequential, PatternRandom, PatternWrite},
-		Seeds:    []uint32{0x2B1A, 0xBEEF},
-		Passes:   1,
+		Name: "test",
+		Axes: jobspec.Axes{
+			CacheKiB: []uint64{64, 128},
+			Ways:     []int{1, 4},
+			Policies: []string{PolicyHardware, PolicyNoWriteAllocate, PolicyNoReadAllocate, PolicyDDOOff},
+			Ratios:   []uint64{2},
+			Patterns: []string{PatternSequential, PatternRandom, PatternWrite},
+			Seeds:    []uint32{0x2B1A, 0xBEEF},
+			Passes:   1,
+		},
 	}
 }
 
@@ -87,14 +92,15 @@ func TestExpandSharesGeometry(t *testing.T) {
 
 // TestExpandRejectsBadAxes pins the validation errors.
 func TestExpandRejectsBadAxes(t *testing.T) {
+	ax := func(a jobspec.Axes) Spec { return Spec{Axes: a} }
 	cases := map[string]Spec{
 		"no cache axis":   {},
-		"unknown policy":  {CacheKiB: []uint64{64}, Policies: []string{"write-around"}},
-		"unknown pattern": {CacheKiB: []uint64{64}, Patterns: []string{"zipf"}},
-		"unaligned ways":  {CacheKiB: []uint64{1}, Ways: []int{3}},
-		"zero ratio":      {CacheKiB: []uint64{64}, Ratios: []uint64{0}},
-		"zero channels":   {CacheKiB: []uint64{64}, Channels: []int{0}},
-		"zero dimms":      {CacheKiB: []uint64{64}, DIMMs: []int{0}},
+		"unknown policy":  ax(jobspec.Axes{CacheKiB: []uint64{64}, Policies: []string{"write-around"}}),
+		"unknown pattern": ax(jobspec.Axes{CacheKiB: []uint64{64}, Patterns: []string{"zipf"}}),
+		"unaligned ways":  ax(jobspec.Axes{CacheKiB: []uint64{1}, Ways: []int{3}}),
+		"zero ratio":      ax(jobspec.Axes{CacheKiB: []uint64{64}, Ratios: []uint64{0}}),
+		"zero channels":   ax(jobspec.Axes{CacheKiB: []uint64{64}, Channels: []int{0}}),
+		"zero dimms":      ax(jobspec.Axes{CacheKiB: []uint64{64}, DIMMs: []int{0}}),
 	}
 	for name, spec := range cases {
 		if _, err := Expand(spec); err == nil {
@@ -112,7 +118,7 @@ func runTables(t *testing.T, spec Spec, workers int, fresh bool) (csv, js []byte
 		t.Fatal(err)
 	}
 	r.Fresh = fresh
-	rows, err := r.Run(workers, nil)
+	rows, err := r.Run(context.Background(), workers, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,6 +168,146 @@ func TestPooledMatchesFresh(t *testing.T) {
 	}
 }
 
+// TestPooledMatchesFreshAfterCancel extends the recycled-controller
+// differential with cancellation: a run cancelled mid-grid returns
+// its rigs to the arena through release (i.e. Reset-clean), so a
+// subsequent complete run on the SAME runner and arena still matches
+// the fresh-per-job baseline byte for byte. A leaked dirty rig would
+// show up as a counter difference on the reused class.
+func TestPooledMatchesFreshAfterCancel(t *testing.T) {
+	spec := testSpec()
+	r, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel partway: run with a context cancelled by the observe
+	// callback after a handful of completions, so some points ran to
+	// completion, some were cancelled mid-stream, some were skipped.
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen atomic.Int64
+	_, err = r.Run(ctx, 4, func(engine.Outcome) {
+		if seen.Add(1) == 5 {
+			cancel()
+		}
+	})
+	cancel()
+	if err == nil {
+		t.Fatal("cancelled run reported no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run error = %v, want context.Canceled", err)
+	}
+	// Now a full run on the same (cancel-polluted, were it buggy)
+	// arena must match the naive fresh baseline.
+	rows, err := r.Run(context.Background(), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pooled bytes.Buffer
+	if err := WriteCSV(&pooled, rows); err != nil {
+		t.Fatal(err)
+	}
+	freshCSV, _ := runTables(t, spec, 4, true)
+	if !bytes.Equal(pooled.Bytes(), freshCSV) {
+		t.Error("post-cancel pooled table differs from the fresh baseline: a cancelled job leaked rig state")
+	}
+}
+
+// TestRunJobPointMatchesGrid: the single-point jobspec form and the
+// equivalent one-point grid form produce byte-identical artifacts
+// through RunJob — the cross-binary reproducibility contract in
+// miniature.
+func TestRunJobPointMatchesGrid(t *testing.T) {
+	point := jobspec.Spec{
+		Version:  jobspec.Version,
+		Name:     "pt",
+		Geometry: &jobspec.Geometry{CacheKiB: 128, Ways: 1, Channels: 2, DIMMs: 1},
+		Policy:   jobspec.PolicyHardware,
+		Workload: &jobspec.Workload{Pattern: jobspec.PatternRandom, Ratio: 2, Seed: 0xBEEF, Passes: 1},
+	}
+	grid := jobspec.Spec{
+		Version: jobspec.Version,
+		Name:    "pt",
+		Sweep: &jobspec.Axes{
+			CacheKiB: []uint64{128},
+			Channels: []int{2},
+			Ratios:   []uint64{2},
+			Patterns: []string{jobspec.PatternRandom},
+			Seeds:    []uint32{0xBEEF},
+		},
+	}
+	a, err := RunJob(context.Background(), point, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunJob(context.Background(), grid, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.CSV, b.CSV) || !bytes.Equal(a.JSON, b.JSON) {
+		t.Error("point-form and grid-form artifacts differ for the same job")
+	}
+	if a.Lines == 0 || a.CSV == nil || a.JSON == nil {
+		t.Errorf("missing artifacts: lines=%d csv=%d json=%d bytes", a.Lines, len(a.CSV), len(a.JSON))
+	}
+}
+
+// TestRunJobSharedArena: two jobs of the same geometry through one
+// shared Arena reuse the pooled rig (the fleet-wide reuse the simd
+// service depends on) and still produce identical artifacts.
+func TestRunJobSharedArena(t *testing.T) {
+	job := jobspec.Spec{
+		Version:  jobspec.Version,
+		Geometry: &jobspec.Geometry{CacheKiB: 64},
+		Workload: &jobspec.Workload{Pattern: jobspec.PatternSequential},
+	}
+	pool := NewArena()
+	a, err := RunJob(context.Background(), job, 1, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool.free) != 1 {
+		t.Fatalf("arena holds %d classes after first job, want 1", len(pool.free))
+	}
+	b, err := RunJob(context.Background(), job, 1, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.CSV, b.CSV) {
+		t.Error("recycled-rig job artifact differs from first run")
+	}
+	for _, rigs := range pool.free {
+		if len(rigs) != 1 {
+			t.Errorf("arena grew to %d rigs for one class: sharing did not recycle", len(rigs))
+		}
+	}
+}
+
+// TestRunJobTrace: a single-point job with telemetry.sample_lines
+// yields deterministic trace artifacts alongside the result table.
+func TestRunJobTrace(t *testing.T) {
+	job := jobspec.Spec{
+		Version:   jobspec.Version,
+		Geometry:  &jobspec.Geometry{CacheKiB: 64},
+		Workload:  &jobspec.Workload{Pattern: jobspec.PatternRandom},
+		Telemetry: &jobspec.Telemetry{SampleLines: 512},
+	}
+	a, err := RunJob(context.Background(), job, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceCSV == nil || a.TraceJSON == nil {
+		t.Fatalf("traced job missing trace artifacts: csv=%d json=%d bytes", len(a.TraceCSV), len(a.TraceJSON))
+	}
+	b, err := RunJob(context.Background(), job, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.TraceCSV, b.TraceCSV) {
+		t.Error("trace artifact not deterministic across calls")
+	}
+}
+
 // TestRunReusesStateDeterministically: repeated Run calls on one
 // Runner (the benchmark loop's shape, with a fully warmed arena)
 // reproduce the first call's table exactly.
@@ -171,7 +317,7 @@ func TestRunReusesStateDeterministically(t *testing.T) {
 		t.Fatal(err)
 	}
 	var first bytes.Buffer
-	rows, err := r.Run(4, nil)
+	rows, err := r.Run(context.Background(), 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +325,7 @@ func TestRunReusesStateDeterministically(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		rows, err := r.Run(4, nil)
+		rows, err := r.Run(context.Background(), 4, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -203,13 +349,13 @@ func TestSteadyStateZeroAllocsPerJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Warm the arena serially so every class has a pooled rig.
-	if _, err := r.Run(1, nil); err != nil {
+	if _, err := r.Run(context.Background(), 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, i := range []int{0, 1, 3, len(r.points) - 1} {
 		p, row := &r.points[i], &r.rows[i]
 		allocs := testing.AllocsPerRun(10, func() {
-			if err := r.executePoint(p, row); err != nil {
+			if err := r.executePoint(context.Background(), p, row); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -227,7 +373,7 @@ func TestObserveSeesEveryJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	var count atomic.Int64
-	_, err = r.Run(4, func(engine.Outcome) { count.Add(1) })
+	_, err = r.Run(context.Background(), 4, func(engine.Outcome) { count.Add(1) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +389,7 @@ func TestEmitSamples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := r.Run(2, nil)
+	rows, err := r.Run(context.Background(), 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
